@@ -1,0 +1,305 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md §2), plus ablation benches for the design choices
+// DESIGN.md §3 calls out. Shapes, not absolute wall-clock, are the
+// deliverable: each bench runs the real algorithms at reduced scale with
+// the paper-calibrated disk/NIC cost models.
+package debar
+
+import (
+	"testing"
+
+	"debar/internal/chunker"
+	"debar/internal/container"
+	"debar/internal/diskindex"
+	"debar/internal/experiments"
+	"debar/internal/fp"
+	"debar/internal/indexcache"
+	"debar/internal/lpc"
+	"debar/internal/overflow"
+	"debar/internal/tpds"
+)
+
+// benchScale keeps per-iteration cost low; the debar-bench binary runs the
+// presentation-quality scale.
+const benchScale = experiments.Scale(2048)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := overflow.Table1(512 << 30)
+		if len(rows) != 8 {
+			b.Fatal("table1 rows")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := overflow.Table2(14, 1, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func monthCfg() experiments.MonthConfig {
+	cfg := experiments.DefaultMonthConfig()
+	cfg.Scale = benchScale
+	cfg.Days = 14
+	return cfg
+}
+
+// BenchmarkFig6to9Month regenerates the month experiment behind Figures
+// 6, 7, 8 and 9 (one run produces all four series).
+func BenchmarkFig6to9Month(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunMonth(monthCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TotalLogical)/float64(res.TotalStored), "compression:1")
+		last := res.Days[len(res.Days)-1]
+		b.ReportMetric(last.TotalCumThr, "DEBAR-MB/s")
+		b.ReportMetric(last.DDFSCumThr, "DDFS-MB/s")
+	}
+}
+
+func BenchmarkFig10Fig11Sweep(b *testing.B) {
+	cfg := experiments.DefaultSweepConfig()
+	cfg.Scale = benchScale
+	cfg.CacheSizes = []int64{1 << 30}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].SILTime.Minutes(), "SIL32GB-min")
+		b.ReportMetric(res.Points[len(res.Points)-1].SIUTime.Minutes(), "SIU512GB-min")
+	}
+}
+
+func BenchmarkFig12Capacity(b *testing.B) {
+	month, err := experiments.RunMonth(monthCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	scfg := experiments.DefaultSweepConfig()
+	scfg.Scale = benchScale
+	scfg.CacheSizes = []int64{1 << 30}
+	sweep, err := experiments.RunSweep(scfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCapacity(month, sweep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].DDFS, "DDFS@8TB-MB/s")
+		b.ReportMetric(res.Points[4].DDFS, "DDFS@128TB-MB/s")
+	}
+}
+
+func clusterCfg() experiments.ClusterConfig {
+	cfg := experiments.DefaultClusterConfig()
+	cfg.Scale = benchScale
+	cfg.W = 2
+	cfg.ClientsPerSrv = 2
+	cfg.Versions = 4
+	cfg.StorageNodes = 4
+	return cfg
+}
+
+func BenchmarkFig13PSIL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig13(clusterCfg(), []int64{32 << 30, 256 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].PSILSpeed/1e3, "PSIL-small-kfps")
+		b.ReportMetric(res.Rows[1].PSILSpeed/1e3, "PSIL-large-kfps")
+	}
+}
+
+func BenchmarkFig14aWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14a(clusterCfg(), []int64{32 << 30})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Dedup1Thr, "dedup1-MB/s")
+		b.ReportMetric(res.Rows[0].TotalThr, "total-MB/s")
+	}
+}
+
+func BenchmarkFig14bRead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig14b(clusterCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Versions[0], "v1-MB/s")
+		b.ReportMetric(res.Versions[len(res.Versions)-1], "vlast-MB/s")
+	}
+}
+
+func BenchmarkFig15Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig15(clusterCfg(), 32<<30, []uint{0, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].TotalThr/res.Rows[0].TotalThr, "speedup-4srv")
+	}
+}
+
+// ---- ablations (DESIGN.md §3) ----
+
+// BenchmarkAblationPrefilterOff measures the month without preliminary
+// filtering (every fingerprint goes to the chunk log): dedup-1's bandwidth
+// multiplier disappears.
+func BenchmarkAblationPrefilterOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := monthCfg()
+		cfg.RunDDFS = false
+		cfg.CacheBytes = 1 << 30
+		// A filter of capacity 1 admits nothing useful: every chunk is
+		// "possibly new".
+		withFilter, err := experiments.RunMonth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(withFilter.Days[len(withFilter.Days)-1].Dedup1CumThr, "filtered-MB/s")
+	}
+}
+
+// BenchmarkAblationSILvsRandom quantifies the paper's core claim: one
+// sequential pass resolves f lookups in the time random I/O resolves a
+// few hundred.
+func BenchmarkAblationSILvsRandom(b *testing.B) {
+	ix, _ := diskindex.NewMem(diskindex.Config{BucketBits: 14, BucketBlocks: 1}, nil)
+	var entries []fp.Entry
+	for i := 0; i < 1<<17; i++ {
+		entries = append(entries, fp.Entry{FP: fp.FromUint64(uint64(i)), CID: 1})
+	}
+	if err := tpds.SIU(ix, entries, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("SIL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cache := indexcache.New(10, 0)
+			for j := 0; j < 1<<14; j++ {
+				cache.Insert(fp.FromUint64(uint64(j * 7)))
+			}
+			b.StartTimer()
+			if _, err := tpds.SIL(ix, cache, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 1<<14; j++ {
+				_, _ = ix.Lookup(fp.FromUint64(uint64(j * 7)))
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSISLvsRandomFill compares LPC hit rates when containers
+// are filled in stream order (SISL) vs shuffled.
+func BenchmarkAblationSISLvsRandomFill(b *testing.B) {
+	const chunks = 1 << 14
+	const perContainer = 256
+	run := func(b *testing.B, shuffle bool) {
+		order := make([]int, chunks)
+		for i := range order {
+			order[i] = i
+		}
+		if shuffle {
+			rng := newDetRand(1)
+			for i := len(order) - 1; i > 0; i-- {
+				j := int(rng.next() % uint64(i+1))
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		// Assign chunks to containers in (possibly shuffled) fill order.
+		metas := make([][]container.ChunkMeta, chunks/perContainer)
+		where := make(map[fp.FP]fp.ContainerID, chunks)
+		for pos, chunk := range order {
+			c := pos / perContainer
+			f := fp.FromUint64(uint64(chunk))
+			metas[c] = append(metas[c], container.ChunkMeta{FP: f, Size: 8192})
+			where[f] = fp.ContainerID(c)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache := lpc.New(8)
+			misses := 0
+			for j := 0; j < chunks; j++ { // restore in stream order
+				f := fp.FromUint64(uint64(j))
+				if _, ok := cache.Lookup(f); !ok {
+					misses++
+					cid := where[f]
+					cache.Insert(cid, metas[cid], nil)
+				}
+			}
+			b.ReportMetric(float64(misses)/float64(chunks)*100, "miss%")
+		}
+	}
+	b.Run("SISL", func(b *testing.B) { run(b, false) })
+	b.Run("Shuffled", func(b *testing.B) { run(b, true) })
+}
+
+// detRand is a tiny deterministic RNG (splitmix64) for ablation setup.
+type detRand struct{ s uint64 }
+
+func newDetRand(seed uint64) *detRand { return &detRand{s: seed} }
+
+func (r *detRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// BenchmarkAblationCDCvsFixed compares dedup ratios under a one-byte shift
+// (the motivation for content-defined chunking, §3.2).
+func BenchmarkAblationCDCvsFixed(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rng := newDetRand(2)
+	for i := range data {
+		data[i] = byte(rng.next())
+	}
+	shifted := append([]byte{0xFF}, data...)
+	b.Run("CDC", func(b *testing.B) {
+		cfg := chunker.Config{AvgBits: 11, Min: 512, Max: 16384, Window: 48}
+		for i := 0; i < b.N; i++ {
+			a, _ := chunker.Split(data, cfg)
+			s, _ := chunker.Split(shifted, cfg)
+			b.ReportMetric(commonFrac(a, s)*100, "shared%")
+		}
+	})
+	b.Run("Fixed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a, _ := chunker.FixedSplit(data, 2048)
+			s, _ := chunker.FixedSplit(shifted, 2048)
+			b.ReportMetric(commonFrac(a, s)*100, "shared%")
+		}
+	})
+}
+
+func commonFrac(a, b [][]byte) float64 {
+	set := make(map[fp.FP]bool, len(a))
+	for _, c := range a {
+		set[fp.New(c)] = true
+	}
+	common := 0
+	for _, c := range b {
+		if set[fp.New(c)] {
+			common++
+		}
+	}
+	return float64(common) / float64(len(a))
+}

@@ -1,0 +1,74 @@
+// Command debar-client backs up or restores a directory through a DEBAR
+// backup server (paper §3.2).
+//
+// Usage:
+//
+//	debar-client -server localhost:7701 backup  <job> <dir>
+//	debar-client -server localhost:7701 restore <job> <destdir>
+//	debar-client -server localhost:7701 verify  <job> <dir>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"debar/internal/client"
+)
+
+func main() {
+	srv := flag.String("server", "localhost:7701", "backup server address")
+	name := flag.String("name", hostname(), "client name")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: debar-client [-server addr] backup|restore <job> <dir>")
+		os.Exit(2)
+	}
+	c := client.New(*srv, *name)
+	switch args[0] {
+	case "backup":
+		stats, err := c.Backup(args[1], args[2])
+		if err != nil {
+			log.Fatalf("debar-client: backup: %v", err)
+		}
+		saved := 100 * (1 - float64(stats.TransferredBytes)/float64(max64(stats.LogicalBytes, 1)))
+		fmt.Printf("backed up %d files: %d logical bytes, %d transferred (%.1f%% saved), %d new fingerprints\n",
+			stats.Files, stats.LogicalBytes, stats.TransferredBytes, saved, stats.NewFingerprints)
+	case "restore":
+		n, err := c.Restore(args[1], args[2])
+		if err != nil {
+			log.Fatalf("debar-client: restore: %v", err)
+		}
+		fmt.Printf("restored %d files into %s\n", n, args[2])
+	case "verify":
+		res, err := c.Verify(args[1], args[2])
+		if err != nil {
+			log.Fatalf("debar-client: verify: %v", err)
+		}
+		fmt.Printf("verified %d files: %d match, %d modified, %d missing\n",
+			res.Checked, res.Matched, len(res.Modified), len(res.Missing))
+		if !res.OK() {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "debar-client: unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return "debar-client"
+	}
+	return h
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

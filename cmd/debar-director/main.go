@@ -1,0 +1,36 @@
+// Command debar-director runs the DEBAR director: job scheduling,
+// metadata management and dedup-2 coordination (paper §3.1).
+//
+// Usage:
+//
+//	debar-director -listen :7700
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"debar/internal/director"
+)
+
+func main() {
+	listen := flag.String("listen", ":7700", "address to listen on")
+	flag.Parse()
+
+	d := director.New()
+	d.SetLogger(log.Printf)
+	addr, err := d.Serve(*listen)
+	if err != nil {
+		log.Fatalf("debar-director: %v", err)
+	}
+	log.Printf("debar-director: listening on %s", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("debar-director: shutting down")
+	d.Close()
+}

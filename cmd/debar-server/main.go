@@ -1,0 +1,42 @@
+// Command debar-server runs a DEBAR backup server: dedup-1 File Store and
+// dedup-2 Chunk Store (paper §3.3).
+//
+// Usage:
+//
+//	debar-server -listen :7701 -director localhost:7700
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"debar/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":7701", "address to listen on")
+	dir := flag.String("director", "", "director address (required for metadata)")
+	indexBits := flag.Uint("index-bits", 18, "disk index bucket bits (2^n buckets)")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		DirectorAddr: *dir,
+		IndexBits:    *indexBits,
+	})
+	if err != nil {
+		log.Fatalf("debar-server: %v", err)
+	}
+	addr, err := srv.Serve(*listen)
+	if err != nil {
+		log.Fatalf("debar-server: %v", err)
+	}
+	log.Printf("debar-server: listening on %s (director %q)", addr, *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}

@@ -1,0 +1,95 @@
+// Package debar is a from-scratch Go implementation of DEBAR, the
+// scalable high-performance de-duplication storage system for backup and
+// archiving of Yang, Jiang, Feng and Niu (TR-UNL-CSE-2009-0004 / IPPS'10),
+// together with the DDFS baseline it is evaluated against.
+//
+// The building blocks live under internal/ (chunker, fp, diskindex,
+// prefilter, indexcache, chunklog, container, lpc, bloom, tpds, cluster,
+// ddfs, disksim, workload, overflow, experiments, director, server,
+// client); this package offers the high-level entry points a downstream
+// user needs:
+//
+//   - System: an in-process DEBAR deployment (director + backup servers
+//     over loopback TCP) for embedding and experimentation;
+//   - re-exported client for talking to any DEBAR deployment;
+//   - the experiments API regenerating the paper's tables and figures.
+package debar
+
+import (
+	"fmt"
+
+	"debar/internal/client"
+	"debar/internal/director"
+	"debar/internal/server"
+)
+
+// Client is a DEBAR backup client (see internal/client).
+type Client = client.Client
+
+// NewClient returns a backup client bound to a backup server address.
+func NewClient(serverAddr, name string) *Client { return client.New(serverAddr, name) }
+
+// ServerConfig sizes a backup server.
+type ServerConfig = server.Config
+
+// System is an in-process DEBAR deployment: one director and n backup
+// servers listening on loopback TCP.
+type System struct {
+	Director     *director.Director
+	DirectorAddr string
+	Servers      []*server.Server
+	ServerAddrs  []string
+}
+
+// StartLocal boots a director and n backup servers on 127.0.0.1.
+func StartLocal(n int, cfg ServerConfig) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("debar: need at least one backup server, got %d", n)
+	}
+	sys := &System{Director: director.New()}
+	addr, err := sys.Director.Serve("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sys.DirectorAddr = addr
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.DirectorAddr = addr
+		srv, err := server.New(c)
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		saddr, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			sys.Close()
+			return nil, err
+		}
+		sys.Servers = append(sys.Servers, srv)
+		sys.ServerAddrs = append(sys.ServerAddrs, saddr)
+	}
+	return sys, nil
+}
+
+// AssignClient returns a client bound to the least-loaded backup server,
+// as the director's job scheduler would assign it (§3.1).
+func (s *System) AssignClient(name string) (*Client, error) {
+	addr, err := s.Director.AssignServer()
+	if err != nil {
+		return nil, err
+	}
+	return client.New(addr, name), nil
+}
+
+// RunDedup2 triggers de-duplication Phase II on every backup server.
+func (s *System) RunDedup2() error { return s.Director.TriggerDedup2(true) }
+
+// Close shuts the deployment down.
+func (s *System) Close() {
+	for _, srv := range s.Servers {
+		srv.Close()
+	}
+	if s.Director != nil {
+		s.Director.Close()
+	}
+}

@@ -1,0 +1,82 @@
+package debar
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartLocalValidation(t *testing.T) {
+	if _, err := StartLocal(0, ServerConfig{}); err == nil {
+		t.Fatal("zero servers accepted")
+	}
+}
+
+func TestSystemBackupRestore(t *testing.T) {
+	// Container must exceed the chunker's 64 KB max chunk plus framing.
+	sys, err := StartLocal(2, ServerConfig{ContainerSize: 256 << 10, IndexBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	if len(sys.ServerAddrs) != 2 {
+		t.Fatalf("server addrs = %d", len(sys.ServerAddrs))
+	}
+
+	src := t.TempDir()
+	payload := bytes.Repeat([]byte("debar facade "), 40000) // ~0.5 MB
+	if err := os.WriteFile(filepath.Join(src, "a.txt"), payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cl, err := sys.AssignClient("facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Backup("facade-job", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 1 || st.LogicalBytes != int64(len(payload)) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := sys.RunDedup2(); err != nil {
+		t.Fatal(err)
+	}
+	dst := t.TempDir()
+	n, err := cl.Restore("facade-job", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d files", n)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "a.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("restored content differs")
+	}
+}
+
+func TestAssignClientBalances(t *testing.T) {
+	sys, err := StartLocal(2, ServerConfig{IndexBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	a, err := sys.AssignClient("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.AssignClient("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ServerAddr == b.ServerAddr {
+		t.Fatalf("both clients assigned to %s; scheduler not balancing", a.ServerAddr)
+	}
+}

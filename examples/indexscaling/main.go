@@ -1,0 +1,92 @@
+// indexscaling demonstrates the DEBAR disk index's two scaling properties
+// (paper §4.1) live: capacity scaling (doubling the bucket count by
+// copying bucket k into buckets 2k and 2k+1 when three adjacent buckets
+// fill) and performance scaling (splitting the index into 2^w parts, one
+// per backup server, by the first w fingerprint bits).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"debar/internal/diskindex"
+	"debar/internal/fp"
+)
+
+func main() {
+	cfg := diskindex.Config{BucketBits: 6, BucketBlocks: 1} // 64 buckets × 20 entries
+	ix, err := diskindex.NewMem(cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("start: 2^%d buckets, capacity %d entries\n", cfg.BucketBits, cfg.Capacity())
+
+	// Insert until the index demands capacity scaling.
+	gen := fp.NewGenerator(0, 0)
+	var kept []fp.Entry
+	for {
+		e := fp.Entry{FP: gen.Next(), CID: fp.ContainerID(len(kept))}
+		err := ix.Insert(e)
+		if errors.Is(err, diskindex.ErrIndexFull) {
+			st, _ := ix.ComputeStats()
+			fmt.Printf("three adjacent buckets full at %d entries (utilisation %.1f%%, %d full buckets)\n",
+				ix.Count(), st.Utilization*100, st.FullBuckets)
+			// Capacity scaling: 2^n → 2^(n+1) by bucket copying.
+			bigger, err := ix.Scale(diskindex.NewMemStore(0))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ix = bigger
+			fmt.Printf("scaled: 2^%d buckets, capacity %d, %d entries preserved\n",
+				ix.Config().BucketBits, ix.Config().Capacity(), ix.Count())
+			if ix.Config().BucketBits >= 9 {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		kept = append(kept, e)
+	}
+
+	// All inserted fingerprints still resolve after repeated scaling.
+	for _, e := range kept {
+		cid, err := ix.Lookup(e.FP)
+		if err != nil || cid != e.CID {
+			log.Fatalf("lost %v after scaling: cid=%v err=%v", e.FP.Short(), cid, err)
+		}
+	}
+	fmt.Printf("all %d fingerprints verified after capacity scaling ✓\n", len(kept))
+
+	// Performance scaling: split across 4 backup servers.
+	const w = 2
+	stores := make([]diskindex.Store, 1<<w)
+	for i := range stores {
+		stores[i] = diskindex.NewMemStore(0)
+	}
+	parts, err := ix.Partition(w, stores)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned into %d parts (first %d fingerprint bits select the server):\n", len(parts), w)
+	for j, p := range parts {
+		fmt.Printf("  server %d: %6d entries, 2^%d buckets\n", j, p.Count(), p.Config().BucketBits)
+	}
+	for _, e := range kept {
+		j := e.FP.Prefix(w)
+		cid, err := parts[j].Lookup(e.FP)
+		if err != nil || cid != e.CID {
+			log.Fatalf("lost %v after partitioning: %v", e.FP.Short(), err)
+		}
+	}
+	fmt.Println("all fingerprints verified in their home parts ✓")
+
+	// And merging back (rebalancing when servers leave).
+	merged, err := diskindex.Merge(parts, diskindex.NewMemStore(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged back into one index: %d entries ✓\n", merged.Count())
+}

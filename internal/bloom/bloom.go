@@ -1,0 +1,128 @@
+// Package bloom implements the Bloom-filter summary vector used by the
+// DDFS baseline (paper §1, §6.1.3). A Bloom filter with m bits and k
+// independent hash functions holding n fingerprints has minimum false
+// positive probability (1/2)^k ≈ 0.6185^(m/n) when k = (m/n)·ln2; DDFS
+// uses a 1 GB filter (m/n = 8 at 2^30 fingerprints ≈ 8 TB physical) for a
+// ≈2% false positive rate. The paper's Figure 12 turns on how this rate
+// explodes as capacity outgrows the filter, which FalsePositiveRate models.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"debar/internal/fp"
+)
+
+// Filter is a Bloom filter keyed by chunk fingerprints. SHA-1 output is
+// uniformly random, so the k probe positions are derived from the
+// fingerprint itself by double hashing — no further hash computation is
+// needed (the approach DDFS takes).
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     int
+	added int64
+}
+
+// New returns a filter with mBits bits and k probes.
+func New(mBits uint64, k int) (*Filter, error) {
+	if mBits == 0 {
+		return nil, fmt.Errorf("bloom: zero size")
+	}
+	if k <= 0 || k > 16 {
+		return nil, fmt.Errorf("bloom: k %d out of range [1,16]", k)
+	}
+	return &Filter{bits: make([]uint64, (mBits+63)/64), m: mBits, k: k}, nil
+}
+
+// NewForCapacity sizes a filter for n fingerprints at bitsPerFP (m/n);
+// DDFS's operating point is m/n = 8, k = 4 (§6.1.3).
+func NewForCapacity(n int64, bitsPerFP float64, k int) (*Filter, error) {
+	if n <= 0 || bitsPerFP <= 0 {
+		return nil, fmt.Errorf("bloom: invalid capacity n=%d bits/fp=%v", n, bitsPerFP)
+	}
+	return New(uint64(float64(n)*bitsPerFP), k)
+}
+
+// MBits returns the filter size in bits.
+func (bf *Filter) MBits() uint64 { return bf.m }
+
+// K returns the probe count.
+func (bf *Filter) K() int { return bf.k }
+
+// Added returns how many fingerprints have been inserted.
+func (bf *Filter) Added() int64 { return bf.added }
+
+// positions derives the k probe positions from the fingerprint by double
+// hashing over two independent 64-bit halves of the SHA-1 output.
+func (bf *Filter) positions(f fp.FP, probe func(uint64)) {
+	h1 := binary.BigEndian.Uint64(f[0:8])
+	h2 := binary.BigEndian.Uint64(f[8:16]) | 1 // odd stride
+	for i := 0; i < bf.k; i++ {
+		probe((h1 + uint64(i)*h2) % bf.m)
+	}
+}
+
+// Add inserts a fingerprint.
+func (bf *Filter) Add(f fp.FP) {
+	bf.positions(f, func(pos uint64) {
+		bf.bits[pos/64] |= 1 << (pos % 64)
+	})
+	bf.added++
+}
+
+// Test reports whether f may have been added (false positives possible,
+// false negatives impossible).
+func (bf *Filter) Test(f fp.FP) bool {
+	hit := true
+	bf.positions(f, func(pos uint64) {
+		if bf.bits[pos/64]&(1<<(pos%64)) == 0 {
+			hit = false
+		}
+	})
+	return hit
+}
+
+// FalsePositiveRate returns the analytic rate (1 - e^{-kn/m})^k for the
+// current number of added fingerprints (paper §6.1.3).
+func (bf *Filter) FalsePositiveRate() float64 {
+	return TheoreticalFPR(bf.added, bf.m, bf.k)
+}
+
+// TheoreticalFPR returns (1 - e^{-kn/m})^k.
+func TheoreticalFPR(n int64, m uint64, k int) float64 {
+	if m == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// FillRatio returns the fraction of set bits.
+func (bf *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range bf.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(bf.m)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Reset clears the filter. The paper's §1 critique of DDFS is precisely
+// that this is the only way to shrink/rebuild a summary vector: "the
+// summary vector has to be reconstructed by scanning the whole storage".
+func (bf *Filter) Reset() {
+	for i := range bf.bits {
+		bf.bits[i] = 0
+	}
+	bf.added = 0
+}

@@ -1,0 +1,150 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	bf, err := New(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 1000; i++ {
+		bf.Add(fp.FromUint64(i))
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !bf.Test(fp.FromUint64(i)) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	// m/n = 8, k = 4: DDFS's operating point, theoretical FPR ≈ 2.4%.
+	const n = 1 << 15
+	bf, err := NewForCapacity(n, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		bf.Add(fp.FromUint64(i))
+	}
+	fpos := 0
+	const probes = 1 << 15
+	for i := uint64(0); i < probes; i++ {
+		if bf.Test(fp.FromUint64(1<<40 + i)) {
+			fpos++
+		}
+	}
+	measured := float64(fpos) / probes
+	theory := bf.FalsePositiveRate()
+	if theory < 0.01 || theory > 0.05 {
+		t.Fatalf("theoretical FPR = %v, expected ≈0.024", theory)
+	}
+	if measured > theory*2 || measured < theory/3 {
+		t.Fatalf("measured FPR %v too far from theory %v", measured, theory)
+	}
+}
+
+func TestTheoreticalFPRPaperNumbers(t *testing.T) {
+	// Paper §6.1.3: 1GB filter, 2^30 fingerprints (m/n=8) → ≈2%;
+	// 16TB capacity (m/n=4) → ≈14.6% (with optimal k).
+	mBits := uint64(8) << 30 // 1 GB in bits
+	// k=(m/n)ln2≈5.5→ use paper's min formula 0.6185^(m/n)
+	got8 := math.Pow(0.6185, 8)
+	if math.Abs(got8-0.02)/0.02 > 0.15 {
+		t.Fatalf("minimum FPR at m/n=8 = %v, paper ≈2%%", got8)
+	}
+	got4 := math.Pow(0.6185, 4)
+	if math.Abs(got4-0.146)/0.146 > 0.15 {
+		t.Fatalf("minimum FPR at m/n=4 = %v, paper ≈14.6%%", got4)
+	}
+	// And the k=4 variant the paper measures with:
+	fpr := TheoreticalFPR(1<<30, mBits, 4)
+	if fpr < 0.015 || fpr > 0.035 {
+		t.Fatalf("k=4 FPR at m/n=8 = %v, want ≈2.4%%", fpr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 4); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(100, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := New(100, 17); err == nil {
+		t.Error("k=17 accepted")
+	}
+	if _, err := NewForCapacity(0, 8, 4); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewForCapacity(10, -1, 4); err == nil {
+		t.Error("negative bits/fp accepted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	bf, _ := New(1<<12, 4)
+	for i := uint64(0); i < 100; i++ {
+		bf.Add(fp.FromUint64(i))
+	}
+	bf.Reset()
+	if bf.Added() != 0 {
+		t.Fatal("Added not reset")
+	}
+	if bf.FillRatio() != 0 {
+		t.Fatal("bits not cleared")
+	}
+	hits := 0
+	for i := uint64(0); i < 100; i++ {
+		if bf.Test(fp.FromUint64(i)) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Fatalf("%d hits after Reset", hits)
+	}
+}
+
+func TestFillRatio(t *testing.T) {
+	bf, _ := New(1<<12, 4)
+	if bf.FillRatio() != 0 {
+		t.Fatal("fresh filter not empty")
+	}
+	for i := uint64(0); i < 512; i++ {
+		bf.Add(fp.FromUint64(i))
+	}
+	// ~2048 probes into 4096 bits: fill ≈ 1-e^{-0.5} ≈ 0.39.
+	if r := bf.FillRatio(); r < 0.3 || r > 0.5 {
+		t.Fatalf("fill ratio %v, want ≈0.39", r)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	bf, _ := New(12345, 7)
+	if bf.MBits() != 12345 || bf.K() != 7 {
+		t.Fatalf("accessors: m=%d k=%d", bf.MBits(), bf.K())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	bf, _ := New(1<<30, 4)
+	for i := 0; i < b.N; i++ {
+		bf.Add(fp.FromUint64(uint64(i)))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	bf, _ := New(1<<30, 4)
+	for i := uint64(0); i < 1<<20; i++ {
+		bf.Add(fp.FromUint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bf.Test(fp.FromUint64(uint64(i)))
+	}
+}

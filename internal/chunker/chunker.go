@@ -1,0 +1,250 @@
+package chunker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DEBAR's chunking parameters (paper §3.2): 48-byte substrings, expected
+// chunk size 8 KB (k=13), bounds 2 KB and 64 KB.
+const (
+	DefaultWindow  = 48
+	DefaultAvgBits = 13
+	DefaultMin     = 2 * 1024
+	DefaultMax     = 64 * 1024
+)
+
+// Config parameterises a content-defined chunker.
+type Config struct {
+	Poly    Poly // irreducible polynomial; DefaultPoly if zero
+	Window  int  // sliding window size in bytes; DefaultWindow if zero
+	AvgBits uint // k: boundary when low k fingerprint bits match Break
+	Min     int  // lower bound on chunk size; DefaultMin if zero
+	Max     int  // upper bound on chunk size; DefaultMax if zero
+	Break   Poly // predetermined constant compared against low k bits
+}
+
+func (c Config) withDefaults() Config {
+	if c.Poly == 0 {
+		c.Poly = DefaultPoly
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.AvgBits == 0 {
+		c.AvgBits = DefaultAvgBits
+	}
+	if c.Min == 0 {
+		c.Min = DefaultMin
+	}
+	if c.Max == 0 {
+		c.Max = DefaultMax
+	}
+	if c.Break == 0 {
+		// A non-zero break value avoids declaring anchors inside long runs
+		// of zero bytes (whose window fingerprint is 0).
+		c.Break = Poly(1)<<c.AvgBits - 1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Min < c.Window {
+		return fmt.Errorf("chunker: min %d smaller than window %d", c.Min, c.Window)
+	}
+	if c.Max < c.Min {
+		return fmt.Errorf("chunker: max %d smaller than min %d", c.Max, c.Min)
+	}
+	if c.AvgBits >= uint(c.Poly.Deg()) {
+		return fmt.Errorf("chunker: avg bits %d not below polynomial degree %d", c.AvgBits, c.Poly.Deg())
+	}
+	return nil
+}
+
+// tableCache shares per-(poly,window) tables across chunkers; building the
+// out-table costs 256*window polynomial steps.
+var tableCache sync.Map // tableKey -> *tables
+
+type tableKey struct {
+	poly   Poly
+	window int
+}
+
+func tablesFor(poly Poly, window int) *tables {
+	key := tableKey{poly, window}
+	if t, ok := tableCache.Load(key); ok {
+		return t.(*tables)
+	}
+	t := buildTables(poly, window)
+	actual, _ := tableCache.LoadOrStore(key, t)
+	return actual.(*tables)
+}
+
+// Chunk is one content-defined chunk of the input stream.
+type Chunk struct {
+	Offset int64  // byte offset of the chunk within the stream
+	Data   []byte // chunk contents; owned by the caller after Next returns
+}
+
+// Chunker splits a stream into content-defined chunks.
+type Chunker struct {
+	cfg  Config
+	tab  *tables
+	r    io.Reader
+	buf  []byte // read buffer
+	n    int    // valid bytes in buf
+	pos  int    // consumption position in buf
+	off  int64  // stream offset of buf[pos]
+	eof  bool
+	mask Poly
+}
+
+// New returns a Chunker reading from r. A zero Config selects DEBAR's
+// parameters (8 KB expected, 2 KB min, 64 KB max, 48-byte window).
+func New(r io.Reader, cfg Config) (*Chunker, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Chunker{
+		cfg:  cfg,
+		tab:  tablesFor(cfg.Poly, cfg.Window),
+		r:    r,
+		buf:  make([]byte, 512*1024),
+		mask: Poly(1)<<cfg.AvgBits - 1,
+	}, nil
+}
+
+// fill shifts unconsumed bytes down and reads more data. It returns the
+// number of valid unconsumed bytes.
+func (c *Chunker) fill() (int, error) {
+	if c.pos > 0 {
+		copy(c.buf, c.buf[c.pos:c.n])
+		c.n -= c.pos
+		c.pos = 0
+	}
+	for !c.eof && c.n < len(c.buf) {
+		m, err := c.r.Read(c.buf[c.n:])
+		c.n += m
+		if err == io.EOF {
+			c.eof = true
+			break
+		}
+		if err != nil {
+			return c.n, err
+		}
+		if m == 0 {
+			return c.n, io.ErrNoProgress
+		}
+	}
+	return c.n, nil
+}
+
+// Next returns the next chunk, or io.EOF after the final chunk has been
+// delivered. The returned Data is a fresh copy.
+func (c *Chunker) Next() (Chunk, error) {
+	// Ensure the buffer holds at least one maximal chunk (or all that's left).
+	if avail := c.n - c.pos; avail < c.cfg.Max && !c.eof {
+		if _, err := c.fill(); err != nil {
+			return Chunk{}, err
+		}
+	}
+	avail := c.n - c.pos
+	if avail == 0 {
+		return Chunk{}, io.EOF
+	}
+
+	data := c.buf[c.pos : c.pos+min(avail, c.cfg.Max)]
+	cut := c.boundary(data)
+	out := Chunk{Offset: c.off, Data: append([]byte(nil), data[:cut]...)}
+	c.pos += cut
+	c.off += int64(cut)
+	return out, nil
+}
+
+// boundary finds the cut point in data: the end of the first window whose
+// fingerprint matches the break value at or beyond Min, else len(data).
+func (c *Chunker) boundary(data []byte) int {
+	if len(data) <= c.cfg.Min {
+		return len(data)
+	}
+	w := c.cfg.Window
+	poly, tab := c.cfg.Poly, c.tab
+	// Roll the window up to the Min boundary first; anchors inside the
+	// minimum are ignored (paper imposes a 2 KB lower bound).
+	var h Poly
+	start := c.cfg.Min - w // window ending exactly at Min
+	for _, b := range data[start:c.cfg.Min] {
+		h = appendByte(h, b, poly, tab)
+	}
+	if h&c.mask == c.cfg.Break {
+		return c.cfg.Min
+	}
+	for i := c.cfg.Min; i < len(data); i++ {
+		out := data[i-w]
+		h ^= tab.out[out]
+		h = appendByte(h, data[i], poly, tab)
+		if h&c.mask == c.cfg.Break {
+			return i + 1
+		}
+	}
+	return len(data)
+}
+
+// Split chunks data in one call and returns the chunk boundaries as
+// sub-slices of data (no copies).
+func Split(data []byte, cfg Config) ([][]byte, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	tab := tablesFor(cfg.Poly, cfg.Window)
+	mask := Poly(1)<<cfg.AvgBits - 1
+	var chunks [][]byte
+	for len(data) > 0 {
+		end := min(len(data), cfg.Max)
+		cut := end
+		if end > cfg.Min {
+			var h Poly
+			for _, b := range data[cfg.Min-cfg.Window : cfg.Min] {
+				h = appendByte(h, b, cfg.Poly, tab)
+			}
+			if h&mask == cfg.Break {
+				cut = cfg.Min
+			} else {
+				cut = end
+				for i := cfg.Min; i < end; i++ {
+					h ^= tab.out[data[i-cfg.Window]]
+					h = appendByte(h, data[i], cfg.Poly, tab)
+					if h&mask == cfg.Break {
+						cut = i + 1
+						break
+					}
+				}
+			}
+		}
+		chunks = append(chunks, data[:cut])
+		data = data[cut:]
+	}
+	return chunks, nil
+}
+
+// ErrBadSize reports an invalid fixed chunk size.
+var ErrBadSize = errors.New("chunker: fixed chunk size must be positive")
+
+// FixedSplit divides data into fixed-sized blocks: the baseline blocking
+// method whose shift-sensitivity motivates CDC (paper §3.2).
+func FixedSplit(data []byte, size int) ([][]byte, error) {
+	if size <= 0 {
+		return nil, ErrBadSize
+	}
+	chunks := make([][]byte, 0, (len(data)+size-1)/size)
+	for len(data) > 0 {
+		n := min(len(data), size)
+		chunks = append(chunks, data[:n])
+		data = data[n:]
+	}
+	return chunks, nil
+}

@@ -1,0 +1,353 @@
+package chunker
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBytes(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestDefaultPolyIrreducible(t *testing.T) {
+	if !DefaultPoly.Irreducible() {
+		t.Fatal("DefaultPoly is not irreducible")
+	}
+	if DefaultPoly.Deg() != 53 {
+		t.Fatalf("DefaultPoly degree = %d, want 53", DefaultPoly.Deg())
+	}
+}
+
+func TestIrreducibleRejectsComposites(t *testing.T) {
+	// x^2 = x*x is reducible; (x+1)^2 = x^2+1 = 0b101 is reducible.
+	for _, p := range []Poly{0b100, 0b101, 0b11000} {
+		if p.Irreducible() {
+			t.Errorf("%b reported irreducible", p)
+		}
+	}
+	// x^2+x+1 = 0b111 is the unique irreducible quadratic.
+	if !Poly(0b111).Irreducible() {
+		t.Error("x^2+x+1 reported reducible")
+	}
+}
+
+func TestPolyDeg(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{{0, -1}, {1, 0}, {2, 1}, {3, 1}, {8, 3}, {DefaultPoly, 53}}
+	for _, c := range cases {
+		if got := c.p.Deg(); got != c.want {
+			t.Errorf("Deg(%#x) = %d, want %d", uint64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestRollingMatchesDirectHash(t *testing.T) {
+	// The rolling fingerprint at every position must equal the direct
+	// Rabin hash of the trailing window. This is the core invariant that
+	// makes chunk boundaries position-independent.
+	const w = 16
+	tab := tablesFor(DefaultPoly, w)
+	data := randBytes(1, 4096)
+
+	var h Poly
+	for i, b := range data {
+		if i >= w {
+			h ^= tab.out[data[i-w]]
+		}
+		h = appendByte(h, b, DefaultPoly, tab)
+		if i >= w-1 {
+			want := Hash(data[i+1-w:i+1], DefaultPoly)
+			if h != want {
+				t.Fatalf("rolling hash at %d = %#x, want %#x", i, uint64(h), uint64(want))
+			}
+		}
+	}
+}
+
+func TestRollingMatchesDirectQuick(t *testing.T) {
+	const w = 8
+	tab := tablesFor(DefaultPoly, w)
+	f := func(seed int64) bool {
+		data := randBytes(seed, 256)
+		var h Poly
+		for i, b := range data {
+			if i >= w {
+				h ^= tab.out[data[i-w]]
+			}
+			h = appendByte(h, b, DefaultPoly, tab)
+		}
+		return h == Hash(data[len(data)-w:], DefaultPoly)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func smallCfg() Config {
+	return Config{AvgBits: 8, Min: 64, Max: 1024, Window: 16}
+}
+
+func TestSplitReassembles(t *testing.T) {
+	data := randBytes(2, 1<<18)
+	chunks, err := Split(data, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole []byte
+	for _, c := range chunks {
+		whole = append(whole, c...)
+	}
+	if !bytes.Equal(whole, data) {
+		t.Fatal("concatenated chunks differ from input")
+	}
+}
+
+func TestSplitBounds(t *testing.T) {
+	cfg := smallCfg()
+	chunks, err := Split(randBytes(3, 1<<18), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range chunks {
+		if len(c) > cfg.Max {
+			t.Fatalf("chunk %d size %d exceeds max %d", i, len(c), cfg.Max)
+		}
+		if len(c) < cfg.Min && i != len(chunks)-1 {
+			t.Fatalf("non-final chunk %d size %d below min %d", i, len(c), cfg.Min)
+		}
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	data := randBytes(4, 1<<16)
+	a, _ := Split(data, smallCfg())
+	b, _ := Split(data, smallCfg())
+	if len(a) != len(b) {
+		t.Fatalf("chunk counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("chunk %d differs between runs", i)
+		}
+	}
+}
+
+func TestSplitAverageSize(t *testing.T) {
+	// For random data, the mean chunk size should be near 2^AvgBits + Min
+	// (boundary is a geometric trial beyond the minimum).
+	cfg := smallCfg()
+	data := randBytes(5, 1<<20)
+	chunks, _ := Split(data, cfg)
+	avg := len(data) / len(chunks)
+	expected := (1 << cfg.AvgBits) + cfg.Min
+	if avg < expected/3 || avg > expected*3 {
+		t.Fatalf("average chunk size %d too far from expected %d", avg, expected)
+	}
+}
+
+func TestShiftResistance(t *testing.T) {
+	// Inserting one byte at the front must leave most chunk boundaries
+	// intact — the motivation for CDC over fixed blocking (paper §3.2).
+	cfg := smallCfg()
+	data := randBytes(6, 1<<18)
+	orig, _ := Split(data, cfg)
+	shifted, _ := Split(append([]byte{0xFF}, data...), cfg)
+
+	set := make(map[string]bool, len(orig))
+	for _, c := range orig {
+		set[string(c)] = true
+	}
+	common := 0
+	for _, c := range shifted {
+		if set[string(c)] {
+			common++
+		}
+	}
+	if common*2 < len(orig) {
+		t.Fatalf("only %d/%d chunks survive a one-byte shift", common, len(orig))
+	}
+
+	// Fixed blocking, by contrast, loses (almost) everything.
+	forig, _ := FixedSplit(data, 256)
+	fshift, _ := FixedSplit(append([]byte{0xFF}, data...), 256)
+	fset := make(map[string]bool, len(forig))
+	for _, c := range forig {
+		fset[string(c)] = true
+	}
+	fcommon := 0
+	for _, c := range fshift {
+		if fset[string(c)] {
+			fcommon++
+		}
+	}
+	if fcommon*4 > len(forig) {
+		t.Fatalf("fixed blocking unexpectedly shift-resistant: %d/%d", fcommon, len(forig))
+	}
+}
+
+func TestAllZerosRespectsMax(t *testing.T) {
+	// An all-zero stream never matches the (non-zero) break value, so every
+	// chunk is forced at Max: the pathological case the bound exists for.
+	cfg := smallCfg()
+	chunks, _ := Split(make([]byte, 10*1024), cfg)
+	for i, c := range chunks[:len(chunks)-1] {
+		if len(c) != cfg.Max {
+			t.Fatalf("zero-stream chunk %d size %d, want max %d", i, len(c), cfg.Max)
+		}
+	}
+}
+
+func TestStreamingMatchesSplit(t *testing.T) {
+	data := randBytes(7, 1<<19)
+	want, _ := Split(data, smallCfg())
+
+	c, err := New(bytes.NewReader(data), smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for i := 0; ; i++ {
+		ch, err := c.Next()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("stream produced %d chunks, Split produced %d", i, len(want))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Offset != off {
+			t.Fatalf("chunk %d offset %d, want %d", i, ch.Offset, off)
+		}
+		if !bytes.Equal(ch.Data, want[i]) {
+			t.Fatalf("chunk %d differs between streaming and Split", i)
+		}
+		off += int64(len(ch.Data))
+	}
+}
+
+func TestStreamingSmallReads(t *testing.T) {
+	// One-byte reads through iotest-style reader must not change chunking.
+	data := randBytes(8, 1<<16)
+	want, _ := Split(data, smallCfg())
+	c, _ := New(oneByteReader{bytes.NewReader(data)}, smallCfg())
+	for i := 0; ; i++ {
+		ch, err := c.Next()
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("got %d chunks, want %d", i, len(want))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ch.Data, want[i]) {
+			t.Fatalf("chunk %d differs under 1-byte reads", i)
+		}
+	}
+}
+
+type oneByteReader struct{ r io.Reader }
+
+func (o oneByteReader) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return o.r.Read(p)
+}
+
+func TestEmptyInput(t *testing.T) {
+	chunks, err := Split(nil, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 0 {
+		t.Fatalf("empty input produced %d chunks", len(chunks))
+	}
+	c, _ := New(bytes.NewReader(nil), smallCfg())
+	if _, err := c.Next(); err != io.EOF {
+		t.Fatalf("Next on empty stream = %v, want io.EOF", err)
+	}
+}
+
+func TestTinyInput(t *testing.T) {
+	data := []byte("tiny")
+	chunks, err := Split(data, smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 || !bytes.Equal(chunks[0], data) {
+		t.Fatalf("tiny input chunked as %v", chunks)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Split(nil, Config{Min: 8, Window: 16, Max: 1024, AvgBits: 8}); err == nil {
+		t.Error("min < window accepted")
+	}
+	if _, err := Split(nil, Config{Min: 2048, Window: 16, Max: 64, AvgBits: 8}); err == nil {
+		t.Error("max < min accepted")
+	}
+	if _, err := New(bytes.NewReader(nil), Config{Min: 8, Window: 16, Max: 4, AvgBits: 8}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestFixedSplit(t *testing.T) {
+	data := randBytes(9, 1000)
+	chunks, err := FixedSplit(data, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 4 {
+		t.Fatalf("got %d chunks, want 4", len(chunks))
+	}
+	if len(chunks[3]) != 1000-3*256 {
+		t.Fatalf("tail chunk size %d", len(chunks[3]))
+	}
+	if _, err := FixedSplit(data, 0); err != ErrBadSize {
+		t.Fatalf("FixedSplit(0) err = %v, want ErrBadSize", err)
+	}
+}
+
+func TestDefaultConfigDebarParameters(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Min != 2*1024 || cfg.Max != 64*1024 || cfg.AvgBits != 13 || cfg.Window != 48 {
+		t.Fatalf("defaults = %+v, want DEBAR's 2KB/64KB/8KB/48B", cfg)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	data := randBytes(10, 1<<22)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(data, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreaming(b *testing.B) {
+	data := randBytes(11, 1<<22)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := New(bytes.NewReader(data), Config{})
+		for {
+			if _, err := c.Next(); err == io.EOF {
+				break
+			}
+		}
+	}
+}

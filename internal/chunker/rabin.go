@@ -1,0 +1,141 @@
+// Package chunker implements content-defined chunking (CDC) over Rabin
+// fingerprints, as used by DEBAR to divide backup streams into
+// variable-sized chunks (paper §3.2, following LBFS).
+//
+// CDC computes the Rabin fingerprint of every overlapping fixed-sized
+// (48-byte) substring of the input. When the low-order k bits of a
+// substring's fingerprint equal a predetermined constant, the substring
+// constitutes an anchor, and anchors become chunk boundaries. The expected
+// chunk size is 2^k bytes; DEBAR uses k=13 (8 KB) with a lower bound of
+// 2 KB and an upper bound of 64 KB to avoid pathological cases.
+package chunker
+
+// Poly is a polynomial over GF(2), represented by its coefficient bits.
+// Bit i is the coefficient of x^i.
+type Poly uint64
+
+// DefaultPoly is an irreducible polynomial of degree 53, giving 53-bit
+// Rabin fingerprints (the degree-53 choice follows LBFS-lineage chunkers;
+// any irreducible polynomial works, per Rabin 1981).
+const DefaultPoly Poly = 0x3DA3358B4DC173
+
+// Deg returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Deg() int {
+	if p == 0 {
+		return -1
+	}
+	d := 0
+	for q := p; q > 1; q >>= 1 {
+		d++
+	}
+	return d
+}
+
+// Mod returns p mod m in GF(2) polynomial arithmetic.
+func (p Poly) Mod(m Poly) Poly {
+	dm := m.Deg()
+	for dp := p.Deg(); dp >= dm; dp = p.Deg() {
+		p ^= m << uint(dp-dm)
+	}
+	return p
+}
+
+// MulMod returns (a*b) mod m in GF(2) polynomial arithmetic.
+func MulMod(a, b, m Poly) Poly {
+	var r Poly
+	for b != 0 {
+		if b&1 != 0 {
+			r ^= a
+		}
+		b >>= 1
+		a <<= 1
+		if a.Deg() >= m.Deg() {
+			a ^= m
+		}
+	}
+	return r
+}
+
+// Irreducible reports whether p is irreducible over GF(2), using the
+// Ben-Or test: x^(2^i) ≢ x (mod p) must have gcd(x^(2^i)-x, p) = 1 for
+// i < deg/2, and x^(2^deg) ≡ x (mod p).
+func (p Poly) Irreducible() bool {
+	d := p.Deg()
+	if d <= 0 {
+		return false
+	}
+	// q(i) = x^(2^i) mod p, computed by repeated squaring.
+	q := Poly(2) // x
+	for i := 1; i <= d; i++ {
+		q = MulMod(q, q, p)
+		if i == d {
+			return q == 2 // x^(2^d) == x (mod p)
+		}
+		if d%i == 0 && i < d {
+			// gcd(x^(2^i) - x, p) must be 1 for proper divisors i of d.
+			if g := gcdPoly(q^2, p); g.Deg() > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func gcdPoly(a, b Poly) Poly {
+	for b != 0 {
+		a, b = b, a.Mod(b)
+	}
+	if a == 0 {
+		return b
+	}
+	return a
+}
+
+// tables holds the precomputed per-byte tables for one polynomial and
+// window size, shared by all chunkers with that configuration.
+type tables struct {
+	mod [256]Poly // reduce the high byte after an 8-bit shift
+	out [256]Poly // contribution of a byte leaving the window
+}
+
+func buildTables(poly Poly, window int) *tables {
+	t := new(tables)
+	k := uint(poly.Deg())
+	// mod[b] reduces (b << k) and simultaneously clears the raw high bits,
+	// so appendByte stays below degree k with one xor.
+	for b := 0; b < 256; b++ {
+		t.mod[b] = (Poly(b) << k).Mod(poly) | Poly(b)<<k
+	}
+	// out[b] is the fingerprint contribution of byte b after it has been
+	// shifted through the whole window: b * x^(8*window) mod poly.
+	for b := 0; b < 256; b++ {
+		h := appendByte(0, byte(b), poly, t)
+		for i := 0; i < window-1; i++ {
+			h = appendByte(h, 0, poly, t)
+		}
+		t.out[b] = h
+	}
+	return t
+}
+
+func appendByte(h Poly, b byte, poly Poly, t *tables) Poly {
+	h <<= 8
+	h |= Poly(b)
+	return h ^ t.mod[h>>uint(poly.Deg())]
+}
+
+// Hash computes the (non-rolling) Rabin fingerprint of data under poly.
+// It is used by tests to validate the rolling computation and is exported
+// for callers that need one-shot window hashes.
+func Hash(data []byte, poly Poly) Poly {
+	var h Poly
+	dk := uint(poly.Deg())
+	for _, b := range data {
+		h <<= 8
+		h |= Poly(b)
+		for h.Deg() >= int(dk) {
+			h ^= poly << uint(h.Deg()-int(dk))
+		}
+	}
+	return h
+}

@@ -1,0 +1,198 @@
+// Package chunklog implements the on-disk chunk log of dedup-1 (paper
+// §5.1): chunks that pass the preliminary filter are appended to a local
+// log as <F, D(F)> groups, to be read back sequentially by the chunk
+// storing step of dedup-2 (§5.3). The log is strictly append-then-scan:
+// dedup-1 appends, dedup-2 drains.
+//
+// A log can run in accounting mode (payload sizes recorded, bytes not
+// retained), which is how the fingerprint-granularity experiments keep
+// byte accounting exact without materialising terabytes (DESIGN.md §1.3).
+package chunklog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"debar/internal/disksim"
+	"debar/internal/fp"
+)
+
+// Record is one <F, D(F)> group.
+type Record struct {
+	FP   fp.FP
+	Size uint32
+	Data []byte // nil in accounting mode
+}
+
+const recordHeader = fp.Size + 4
+
+// Log is a chunk log. Append and Iterate are mutually exclusive phases;
+// the log serialises them with a mutex so a File Store (dedup-1 writer)
+// and Chunk Store (dedup-2 reader) never interleave mid-record.
+type Log struct {
+	mu       sync.Mutex
+	metaOnly bool
+	recs     []Record
+	bytes    int64 // payload bytes represented
+	disk     *disksim.Disk
+	file     *os.File // non-nil for file-backed logs
+}
+
+// NewMem returns a memory-backed log. metaOnly drops payloads while
+// keeping sizes. disk may be nil.
+func NewMem(metaOnly bool, disk *disksim.Disk) *Log {
+	return &Log{metaOnly: metaOnly, disk: disk}
+}
+
+// OpenFile returns a file-backed log at path (always retaining payloads).
+func OpenFile(path string, disk *disksim.Disk) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("chunklog: %w", err)
+	}
+	return &Log{disk: disk, file: f}, nil
+}
+
+// Append adds one <F, D(F)> group. size declares the payload length; data
+// may be nil only in accounting mode. Charges a sequential write.
+func (l *Log) Append(f fp.FP, size uint32, data []byte) error {
+	if !l.metaOnly && len(data) != int(size) {
+		return fmt.Errorf("chunklog: declared size %d != payload %d", size, len(data))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file != nil {
+		var hdr [recordHeader]byte
+		copy(hdr[:], f[:])
+		binary.BigEndian.PutUint32(hdr[fp.Size:], size)
+		if _, err := l.file.Write(hdr[:]); err != nil {
+			return fmt.Errorf("chunklog: append: %w", err)
+		}
+		if _, err := l.file.Write(data); err != nil {
+			return fmt.Errorf("chunklog: append: %w", err)
+		}
+	} else {
+		r := Record{FP: f, Size: size}
+		if !l.metaOnly {
+			r.Data = append([]byte(nil), data...)
+		}
+		l.recs = append(l.recs, r)
+	}
+	l.bytes += int64(size)
+	if l.disk != nil {
+		l.disk.SeqWrite(recordHeader + int64(size))
+	}
+	return nil
+}
+
+// Count returns the number of logged groups.
+func (l *Log) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file != nil {
+		n, _ := l.countFile()
+		return n
+	}
+	return int64(len(l.recs))
+}
+
+func (l *Log) countFile() (int64, error) {
+	// Cheap scan of headers; used only in tests/tools for file logs.
+	var n int64
+	off := int64(0)
+	var hdr [recordHeader]byte
+	for {
+		if _, err := l.file.ReadAt(hdr[:], off); err != nil {
+			if errors.Is(err, io.EOF) {
+				return n, nil
+			}
+			return n, err
+		}
+		size := binary.BigEndian.Uint32(hdr[fp.Size:])
+		off += recordHeader + int64(size)
+		n++
+	}
+}
+
+// Bytes returns the payload bytes represented in the log.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Iterate sequentially reads the log, invoking fn per group in append
+// order. Charges one sequential read over the log. fn's data argument is
+// nil in accounting mode.
+func (l *Log) Iterate(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.disk != nil {
+		l.disk.SeqRead(l.bytes + int64(l.Len())*recordHeader)
+	}
+	if l.file != nil {
+		return l.iterateFile(fn)
+	}
+	for _, r := range l.recs {
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the in-memory record count without locking (callers hold mu).
+func (l *Log) Len() int { return len(l.recs) }
+
+func (l *Log) iterateFile(fn func(Record) error) error {
+	off := int64(0)
+	var hdr [recordHeader]byte
+	for {
+		if _, err := l.file.ReadAt(hdr[:], off); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("chunklog: iterate: %w", err)
+		}
+		var r Record
+		copy(r.FP[:], hdr[:fp.Size])
+		r.Size = binary.BigEndian.Uint32(hdr[fp.Size:])
+		r.Data = make([]byte, r.Size)
+		if _, err := l.file.ReadAt(r.Data, off+recordHeader); err != nil {
+			return fmt.Errorf("chunklog: iterate: %w", err)
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+		off += recordHeader + int64(r.Size)
+	}
+}
+
+// Reset discards all records after a completed dedup-2 pass.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs = nil
+	l.bytes = 0
+	if l.file != nil {
+		if err := l.file.Truncate(0); err != nil {
+			return fmt.Errorf("chunklog: reset: %w", err)
+		}
+		if _, err := l.file.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("chunklog: reset: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close releases the backing file, if any.
+func (l *Log) Close() error {
+	if l.file != nil {
+		return l.file.Close()
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+// Package client implements the DEBAR Backup Engine (paper §3.2): it
+// reads files from the job dataset, anchors them into variable-sized
+// chunks with CDC, computes SHA-1 fingerprints, exchanges fingerprints
+// with the backup server's preliminary filter, transfers only the chunks
+// the server asks for, and sends file metadata and indices. Restore
+// retrieves file indices and chunks back from the server.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"debar/internal/chunker"
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+// Client is a backup client bound to one backup server.
+type Client struct {
+	ServerAddr string
+	Name       string
+	Chunking   chunker.Config
+	BatchSize  int // fingerprints per FPBatch (default 256)
+}
+
+// New returns a client for the given backup server.
+func New(serverAddr, name string) *Client {
+	return &Client{ServerAddr: serverAddr, Name: name, BatchSize: 256}
+}
+
+// BackupStats summarises one backup run.
+type BackupStats struct {
+	Files            int
+	LogicalBytes     int64
+	TransferredBytes int64
+	NewFingerprints  int64
+}
+
+// Backup walks dir and backs up every regular file under it as job
+// jobName.
+func (c *Client) Backup(jobName, dir string) (BackupStats, error) {
+	var stats BackupStats
+	conn, err := proto.Dial(c.ServerAddr)
+	if err != nil {
+		return stats, err
+	}
+	defer conn.Close()
+
+	sess, err := c.start(conn, jobName)
+	if err != nil {
+		return stats, err
+	}
+
+	var paths []string
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.Type().IsRegular() {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, fmt.Errorf("client: walking %s: %w", dir, err)
+	}
+	sort.Strings(paths)
+
+	for _, path := range paths {
+		if err := c.backupFile(conn, sess, dir, path); err != nil {
+			return stats, err
+		}
+		stats.Files++
+	}
+
+	if err := conn.Send(proto.BackupEnd{SessionID: sess}); err != nil {
+		return stats, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return stats, err
+	}
+	done, ok := msg.(proto.BackupDone)
+	if !ok {
+		return stats, fmt.Errorf("client: unexpected BackupEnd reply %T", msg)
+	}
+	stats.LogicalBytes = done.LogicalBytes
+	stats.TransferredBytes = done.TransferredBytes
+	stats.NewFingerprints = done.NewFingerprints
+	return stats, nil
+}
+
+func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
+	if err := conn.Send(proto.BackupStart{JobName: jobName, Client: c.Name}); err != nil {
+		return 0, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return 0, err
+	}
+	switch m := msg.(type) {
+	case proto.BackupStartOK:
+		return m.SessionID, nil
+	case proto.Ack:
+		return 0, fmt.Errorf("client: BackupStart refused: %s", m.Err)
+	default:
+		return 0, fmt.Errorf("client: unexpected BackupStart reply %T", msg)
+	}
+}
+
+// backupFile anchors, fingerprints and ships one file (§3.2's metadata
+// backup, anchoring, chunk fingerprinting and content backup steps).
+func (c *Client) backupFile(conn *proto.Conn, sess uint64, root, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+
+	ch, err := chunker.New(f, c.Chunking)
+	if err != nil {
+		return err
+	}
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	entry := proto.FileEntry{Path: rel, Mode: uint32(info.Mode()), Size: info.Size()}
+
+	batchFPs := make([]fp.FP, 0, c.batch())
+	batchSizes := make([]uint32, 0, c.batch())
+	batchData := make([][]byte, 0, c.batch())
+
+	flush := func() error {
+		if len(batchFPs) == 0 {
+			return nil
+		}
+		if err := conn.Send(proto.FPBatch{SessionID: sess, FPs: batchFPs, Sizes: batchSizes}); err != nil {
+			return err
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		verdicts, ok := msg.(proto.FPVerdicts)
+		if !ok {
+			return fmt.Errorf("client: unexpected FPBatch reply %T", msg)
+		}
+		if len(verdicts.Need) != len(batchFPs) {
+			return fmt.Errorf("client: verdict length %d != batch %d", len(verdicts.Need), len(batchFPs))
+		}
+		var needFPs []fp.FP
+		var needData [][]byte
+		for i, need := range verdicts.Need {
+			if need {
+				needFPs = append(needFPs, batchFPs[i])
+				needData = append(needData, batchData[i])
+			}
+		}
+		if len(needFPs) > 0 {
+			if err := conn.Send(proto.ChunkBatch{SessionID: sess, FPs: needFPs, Data: needData}); err != nil {
+				return err
+			}
+			msg, err := conn.Recv()
+			if err != nil {
+				return err
+			}
+			if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+				return fmt.Errorf("client: chunk transfer refused: %+v", msg)
+			}
+		}
+		batchFPs = batchFPs[:0]
+		batchSizes = batchSizes[:0]
+		batchData = batchData[:0]
+		return nil
+	}
+
+	for {
+		chunk, err := ch.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("client: chunking %s: %w", path, err)
+		}
+		h := fp.New(chunk.Data)
+		entry.Chunks = append(entry.Chunks, h)
+		entry.Sizes = append(entry.Sizes, uint32(len(chunk.Data)))
+		batchFPs = append(batchFPs, h)
+		batchSizes = append(batchSizes, uint32(len(chunk.Data)))
+		batchData = append(batchData, chunk.Data)
+		if len(batchFPs) >= c.batch() {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	if err := conn.Send(proto.FileMeta{SessionID: sess, Entry: entry}); err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+		return fmt.Errorf("client: FileMeta refused: %+v", msg)
+	}
+	return nil
+}
+
+func (c *Client) batch() int {
+	if c.BatchSize <= 0 {
+		return 256
+	}
+	return c.BatchSize
+}
+
+// Restore retrieves every file of jobName's latest run into destDir.
+func (c *Client) Restore(jobName, destDir string) (int, error) {
+	conn, err := proto.Dial(c.ServerAddr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+
+	if err := conn.Send(proto.ListFiles{JobName: jobName}); err != nil {
+		return 0, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return 0, err
+	}
+	list, ok := msg.(proto.FileList)
+	if !ok {
+		if ack, is := msg.(proto.Ack); is {
+			return 0, fmt.Errorf("client: list: %s", ack.Err)
+		}
+		return 0, fmt.Errorf("client: unexpected ListFiles reply %T", msg)
+	}
+
+	restored := 0
+	for _, path := range list.Paths {
+		if err := conn.Send(proto.RestoreFile{JobName: jobName, Path: path}); err != nil {
+			return restored, err
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return restored, err
+		}
+		data, ok := msg.(proto.RestoreData)
+		if !ok {
+			if ack, is := msg.(proto.Ack); is {
+				return restored, fmt.Errorf("client: restore %s: %s", path, ack.Err)
+			}
+			return restored, fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
+		}
+		dst := filepath.Join(destDir, filepath.FromSlash(data.Entry.Path))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return restored, err
+		}
+		mode := fs.FileMode(data.Entry.Mode)
+		if mode.Perm() == 0 {
+			mode = 0o644
+		}
+		if err := os.WriteFile(dst, data.Data, mode.Perm()); err != nil {
+			return restored, err
+		}
+		restored++
+	}
+	return restored, nil
+}

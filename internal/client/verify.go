@@ -1,0 +1,114 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"debar/internal/chunker"
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+// VerifyResult summarises a verify job (§3.1: the director "supervises
+// the entire backup, restore, verify ... operations").
+type VerifyResult struct {
+	Checked  int // files compared
+	Matched  int // files whose chunk fingerprints all match
+	Modified []string
+	Missing  []string // in the backup but absent locally
+}
+
+// OK reports whether the local tree matches the backup exactly.
+func (v VerifyResult) OK() bool { return len(v.Modified) == 0 && len(v.Missing) == 0 }
+
+// Verify compares the latest run of jobName against the local directory
+// tree without transferring any chunk data: files are re-anchored and
+// re-fingerprinted locally and compared against the stored file indexes.
+func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
+	var res VerifyResult
+	conn, err := proto.Dial(c.ServerAddr)
+	if err != nil {
+		return res, err
+	}
+	defer conn.Close()
+
+	if err := conn.Send(proto.ListFiles{JobName: jobName}); err != nil {
+		return res, err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return res, err
+	}
+	list, ok := msg.(proto.FileList)
+	if !ok {
+		if ack, is := msg.(proto.Ack); is {
+			return res, fmt.Errorf("client: verify: %s", ack.Err)
+		}
+		return res, fmt.Errorf("client: unexpected ListFiles reply %T", msg)
+	}
+
+	for _, path := range list.Paths {
+		if err := conn.Send(proto.RestoreFile{JobName: jobName, Path: path}); err != nil {
+			return res, err
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			return res, err
+		}
+		data, ok := msg.(proto.RestoreData)
+		if !ok {
+			if ack, is := msg.(proto.Ack); is {
+				return res, fmt.Errorf("client: verify %s: %s", path, ack.Err)
+			}
+			return res, fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
+		}
+		res.Checked++
+		local := filepath.Join(dir, filepath.FromSlash(path))
+		match, err := c.fileMatches(local, data.Entry)
+		if errors.Is(err, os.ErrNotExist) {
+			res.Missing = append(res.Missing, path)
+			continue
+		}
+		if err != nil {
+			return res, err
+		}
+		if match {
+			res.Matched++
+		} else {
+			res.Modified = append(res.Modified, path)
+		}
+	}
+	return res, nil
+}
+
+// fileMatches re-chunks the local file and compares fingerprints against
+// the stored file index.
+func (c *Client) fileMatches(path string, entry proto.FileEntry) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	ch, err := chunker.New(f, c.Chunking)
+	if err != nil {
+		return false, err
+	}
+	i := 0
+	for {
+		chunk, err := ch.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return false, err
+		}
+		if i >= len(entry.Chunks) || fp.New(chunk.Data) != entry.Chunks[i] {
+			return false, nil
+		}
+		i++
+	}
+	return i == len(entry.Chunks), nil
+}

@@ -1,0 +1,182 @@
+// Package container implements DEBAR's unit of storage (paper §3.4): the
+// fixed-sized, self-described container. A container holds a metadata
+// section describing every chunk (fingerprint, size, offset) followed by
+// the data section with the chunk bytes. DEBAR uses 8 MB containers — at
+// the 8 KB expected chunk size about 1024 chunks per container — and
+// 40-bit container IDs (8 EB of addressable physical capacity).
+//
+// Containers are filled with the stream-informed segment layout (SISL)
+// adopted from DDFS: new chunks are written in the logical order in which
+// they appear in the backup stream, creating the spatial locality that
+// locality-preserved caching exploits during restore.
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"debar/internal/fp"
+)
+
+// DefaultSize is the paper's container size (§3.4).
+const DefaultSize = 8 << 20
+
+// ChunkMeta locates one chunk inside its container (§3.4: "the
+// fingerprint, chunk size and storage offset of this chunk").
+type ChunkMeta struct {
+	FP     fp.FP
+	Size   uint32
+	Offset uint32
+}
+
+// metaEntrySize is the serialised size of one ChunkMeta.
+const metaEntrySize = fp.Size + 4 + 4
+
+// header layout: magic | container ID | chunk count | data length.
+const (
+	magic      = 0xDEBA0001
+	headerSize = 4 + 8 + 4 + 4
+)
+
+// Container is one sealed container.
+type Container struct {
+	ID   fp.ContainerID
+	Meta []ChunkMeta
+	Data []byte // nil when the repository runs in accounting mode
+}
+
+// DataBytes returns the total chunk payload size described by the metadata
+// (valid even in accounting mode).
+func (c *Container) DataBytes() int64 {
+	var n int64
+	for _, m := range c.Meta {
+		n += int64(m.Size)
+	}
+	return n
+}
+
+// Chunk extracts the payload of the chunk with fingerprint f.
+func (c *Container) Chunk(f fp.FP) ([]byte, bool) {
+	for _, m := range c.Meta {
+		if m.FP == f {
+			if c.Data == nil {
+				// Accounting mode: payloads were not retained; synthesise
+				// a zero chunk of the recorded size (§6.2: "a chunk padded
+				// with full zero" as fingerprint payload).
+				return make([]byte, m.Size), true
+			}
+			return c.Data[m.Offset : m.Offset+m.Size], true
+		}
+	}
+	return nil, false
+}
+
+// Marshal serialises the container (header, metadata section, data
+// section). Accounting-mode containers marshal with an empty data section.
+func (c *Container) Marshal() []byte {
+	buf := make([]byte, headerSize+len(c.Meta)*metaEntrySize+len(c.Data))
+	binary.BigEndian.PutUint32(buf[0:], magic)
+	binary.BigEndian.PutUint64(buf[4:], uint64(c.ID))
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(c.Meta)))
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(c.Data)))
+	off := headerSize
+	for _, m := range c.Meta {
+		copy(buf[off:], m.FP[:])
+		binary.BigEndian.PutUint32(buf[off+fp.Size:], m.Size)
+		binary.BigEndian.PutUint32(buf[off+fp.Size+4:], m.Offset)
+		off += metaEntrySize
+	}
+	copy(buf[off:], c.Data)
+	return buf
+}
+
+// ErrCorrupt reports a malformed container image.
+var ErrCorrupt = errors.New("container: corrupt image")
+
+// Unmarshal parses a container image produced by Marshal.
+func Unmarshal(buf []byte) (*Container, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	c := &Container{ID: fp.ContainerID(binary.BigEndian.Uint64(buf[4:]))}
+	nmeta := binary.BigEndian.Uint32(buf[12:])
+	dataLen := binary.BigEndian.Uint32(buf[16:])
+	need := headerSize + int(nmeta)*metaEntrySize + int(dataLen)
+	if len(buf) < need {
+		return nil, fmt.Errorf("%w: truncated (%d < %d)", ErrCorrupt, len(buf), need)
+	}
+	off := headerSize
+	c.Meta = make([]ChunkMeta, nmeta)
+	for i := range c.Meta {
+		copy(c.Meta[i].FP[:], buf[off:])
+		c.Meta[i].Size = binary.BigEndian.Uint32(buf[off+fp.Size:])
+		c.Meta[i].Offset = binary.BigEndian.Uint32(buf[off+fp.Size+4:])
+		off += metaEntrySize
+	}
+	if dataLen > 0 {
+		c.Data = append([]byte(nil), buf[off:off+int(dataLen)]...)
+	}
+	return c, nil
+}
+
+// Writer fills one container at a time in stream order (SISL). It is the
+// in-memory staging object the Chunk Store writes new chunks into (§5.3).
+type Writer struct {
+	size     int
+	meta     []ChunkMeta
+	data     []byte
+	used     int // bytes of container consumed (metadata + data)
+	metaOnly bool
+}
+
+// NewWriter returns a Writer for containers of size bytes. metaOnly
+// writers account for payload bytes without retaining them.
+func NewWriter(size int, metaOnly bool) *Writer {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Writer{size: size, metaOnly: metaOnly}
+}
+
+// Fits reports whether a chunk of n payload bytes fits the open container.
+func (w *Writer) Fits(n int) bool {
+	return w.used+metaEntrySize+n <= w.size-headerSize
+}
+
+// Add appends one chunk. It returns false (and does not add) when the
+// chunk does not fit: the caller seals the container and retries. size is
+// the payload length; data may be nil in metaOnly mode.
+func (w *Writer) Add(f fp.FP, size uint32, data []byte) bool {
+	if !w.metaOnly && len(data) != int(size) {
+		panic(fmt.Sprintf("container: declared size %d != payload %d", size, len(data)))
+	}
+	if !w.Fits(int(size)) {
+		return false
+	}
+	w.meta = append(w.meta, ChunkMeta{FP: f, Size: size, Offset: uint32(len(w.data))})
+	if !w.metaOnly {
+		w.data = append(w.data, data...)
+	}
+	w.used += metaEntrySize + int(size)
+	return true
+}
+
+// Len returns the number of staged chunks.
+func (w *Writer) Len() int { return len(w.meta) }
+
+// Empty reports whether nothing has been staged.
+func (w *Writer) Empty() bool { return len(w.meta) == 0 }
+
+// Seal closes the container, assigning it the given ID, and resets the
+// writer for the next container.
+func (w *Writer) Seal(id fp.ContainerID) *Container {
+	c := &Container{ID: id, Meta: w.meta, Data: w.data}
+	w.meta = nil
+	w.data = nil
+	w.used = 0
+	return c
+}

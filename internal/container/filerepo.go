@@ -1,0 +1,165 @@
+package container
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"debar/internal/disksim"
+	"debar/internal/fp"
+)
+
+// FileRepository is a file-backed container log: containers are appended
+// to a single log file and located through an in-memory offset table that
+// is rebuilt by scanning the log on open (the log is self-describing, so
+// no separate manifest is needed — §3.4).
+type FileRepository struct {
+	mu      sync.Mutex
+	f       *os.File
+	offsets map[fp.ContainerID]int64
+	next    fp.ContainerID
+	end     int64
+	bytes   int64
+	disk    *disksim.Disk
+}
+
+// OpenFileRepository opens (creating if needed) the container log at
+// path, scanning any existing containers. disk may be nil.
+func OpenFileRepository(path string, disk *disksim.Disk) (*FileRepository, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("container: open log: %w", err)
+	}
+	r := &FileRepository{f: f, offsets: make(map[fp.ContainerID]int64), disk: disk}
+	if err := r.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// scan rebuilds the offset table from the self-describing log.
+func (r *FileRepository) scan() error {
+	var hdr [headerSize]byte
+	off := int64(0)
+	for {
+		if _, err := r.f.ReadAt(hdr[:], off); err != nil {
+			if errors.Is(err, io.EOF) {
+				r.end = off
+				return nil
+			}
+			return fmt.Errorf("container: scanning log: %w", err)
+		}
+		if binary.BigEndian.Uint32(hdr[0:]) != magic {
+			return fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, off)
+		}
+		id := fp.ContainerID(binary.BigEndian.Uint64(hdr[4:]))
+		nmeta := int64(binary.BigEndian.Uint32(hdr[12:]))
+		dataLen := int64(binary.BigEndian.Uint32(hdr[16:]))
+		r.offsets[id] = off
+		r.bytes += dataLen
+		if id >= r.next {
+			r.next = id + 1
+		}
+		off += headerSize + nmeta*metaEntrySize + dataLen
+	}
+}
+
+// Append implements Repository.
+func (r *FileRepository) Append(c *Container) (fp.ContainerID, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.next
+	if id > fp.MaxContainerID {
+		return 0, fmt.Errorf("container: file repository full")
+	}
+	stored := &Container{ID: id, Meta: c.Meta, Data: c.Data}
+	img := stored.Marshal()
+	if _, err := r.f.WriteAt(img, r.end); err != nil {
+		return 0, fmt.Errorf("container: appending %v: %w", id, err)
+	}
+	r.offsets[id] = r.end
+	r.end += int64(len(img))
+	r.bytes += stored.DataBytes()
+	r.next++
+	if r.disk != nil {
+		r.disk.SeqWrite(int64(len(img)))
+	}
+	return id, nil
+}
+
+// Load implements Repository.
+func (r *FileRepository) Load(id fp.ContainerID) (*Container, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	off, ok := r.offsets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %v", ErrNotFound, id)
+	}
+	var hdr [headerSize]byte
+	if _, err := r.f.ReadAt(hdr[:], off); err != nil {
+		return nil, fmt.Errorf("container: loading %v: %w", id, err)
+	}
+	nmeta := int64(binary.BigEndian.Uint32(hdr[12:]))
+	dataLen := int64(binary.BigEndian.Uint32(hdr[16:]))
+	img := make([]byte, headerSize+nmeta*metaEntrySize+dataLen)
+	if _, err := r.f.ReadAt(img, off); err != nil {
+		return nil, fmt.Errorf("container: loading %v: %w", id, err)
+	}
+	if r.disk != nil {
+		r.disk.SeqRead(int64(len(img)))
+	}
+	return Unmarshal(img)
+}
+
+// LoadMeta implements Repository.
+func (r *FileRepository) LoadMeta(id fp.ContainerID) ([]ChunkMeta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	off, ok := r.offsets[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %v", ErrNotFound, id)
+	}
+	var hdr [headerSize]byte
+	if _, err := r.f.ReadAt(hdr[:], off); err != nil {
+		return nil, err
+	}
+	nmeta := int(binary.BigEndian.Uint32(hdr[12:]))
+	buf := make([]byte, nmeta*metaEntrySize)
+	if _, err := r.f.ReadAt(buf, off+headerSize); err != nil {
+		return nil, err
+	}
+	if r.disk != nil {
+		r.disk.SeqRead(int64(headerSize + len(buf)))
+	}
+	metas := make([]ChunkMeta, nmeta)
+	for i := range metas {
+		p := buf[i*metaEntrySize:]
+		copy(metas[i].FP[:], p[:fp.Size])
+		metas[i].Size = binary.BigEndian.Uint32(p[fp.Size:])
+		metas[i].Offset = binary.BigEndian.Uint32(p[fp.Size+4:])
+	}
+	return metas, nil
+}
+
+// Containers implements Repository.
+func (r *FileRepository) Containers() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.offsets))
+}
+
+// Bytes implements Repository.
+func (r *FileRepository) Bytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
+
+// Close releases the log file.
+func (r *FileRepository) Close() error { return r.f.Close() }
+
+var _ Repository = (*FileRepository)(nil)

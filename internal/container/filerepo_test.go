@@ -1,0 +1,135 @@
+package container
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func fileRepoFixture(t *testing.T) (*FileRepository, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "containers.log")
+	r, err := OpenFileRepository(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, path
+}
+
+func sealOne(t *testing.T, seed uint64, chunks int) *Container {
+	t.Helper()
+	w := NewWriter(1<<20, false)
+	for i := 0; i < chunks; i++ {
+		data := bytes.Repeat([]byte{byte(seed), byte(i)}, 50+i)
+		if !w.Add(fp.New(data), uint32(len(data)), data) {
+			t.Fatal("fixture container overflow")
+		}
+	}
+	return w.Seal(0)
+}
+
+func TestFileRepositoryAppendLoad(t *testing.T) {
+	r, _ := fileRepoFixture(t)
+	c := sealOne(t, 1, 10)
+	id, err := r.Append(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != id || len(got.Meta) != 10 {
+		t.Fatalf("loaded id=%v metas=%d", got.ID, len(got.Meta))
+	}
+	for _, m := range c.Meta {
+		want, _ := c.Chunk(m.FP)
+		gotChunk, ok := got.Chunk(m.FP)
+		if !ok || !bytes.Equal(gotChunk, want) {
+			t.Fatalf("chunk %v differs after file round trip", m.FP.Short())
+		}
+	}
+	if _, err := r.Load(99); err == nil {
+		t.Fatal("unknown load succeeded")
+	}
+}
+
+func TestFileRepositoryLoadMeta(t *testing.T) {
+	r, _ := fileRepoFixture(t)
+	c := sealOne(t, 2, 5)
+	id, _ := r.Append(c)
+	metas, err := r.LoadMeta(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 5 {
+		t.Fatalf("metas = %d", len(metas))
+	}
+	for i := range metas {
+		if metas[i] != c.Meta[i] {
+			t.Fatalf("meta %d differs", i)
+		}
+	}
+}
+
+func TestFileRepositoryReopenRecovers(t *testing.T) {
+	r, path := fileRepoFixture(t)
+	var ids []fp.ContainerID
+	for i := uint64(0); i < 4; i++ {
+		id, err := r.Append(sealOne(t, i, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	wantBytes := r.Bytes()
+	r.Close()
+
+	// Reopen: the self-describing log rebuilds the offset table (§3.4).
+	r2, err := OpenFileRepository(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Containers() != 4 || r2.Bytes() != wantBytes {
+		t.Fatalf("recovered %d containers %d bytes, want 4/%d", r2.Containers(), r2.Bytes(), wantBytes)
+	}
+	for _, id := range ids {
+		if _, err := r2.Load(id); err != nil {
+			t.Fatalf("load %v after reopen: %v", id, err)
+		}
+	}
+	// IDs continue from where the log left off.
+	next, err := r2.Append(sealOne(t, 9, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 4 {
+		t.Fatalf("next id = %v, want 4", next)
+	}
+}
+
+func TestFileRepositoryRejectsCorruptLog(t *testing.T) {
+	r, path := fileRepoFixture(t)
+	_, _ = r.Append(sealOne(t, 3, 2))
+	r.Close()
+	// Corrupt the magic of the first container.
+	raw, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := writeFile(path, raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileRepository(path, nil); err == nil {
+		t.Fatal("corrupt log accepted")
+	}
+}
+
+func readFile(path string) ([]byte, error)  { return os.ReadFile(path) }
+func writeFile(path string, b []byte) error { return os.WriteFile(path, b, 0o644) }

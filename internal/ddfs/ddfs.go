@@ -1,0 +1,273 @@
+// Package ddfs implements the Data Domain De-duplication File System
+// baseline the paper compares against (§1, §6; Zhu et al., FAST'08),
+// re-built from the original paper's description exactly as the DEBAR
+// authors did for their evaluation:
+//
+//   - an in-memory Bloom-filter summary vector sized at creation time
+//     (m/n = 8 bits per fingerprint, k = 4 at the paper's operating
+//     point) — it cannot be enlarged without rescanning all storage,
+//     which is the scalability limitation DEBAR removes;
+//   - locality-preserved caching (LPC) over container fingerprint sets;
+//   - stream-informed segment layout (SISL) container fill;
+//   - an in-memory write buffer for new fingerprints, flushed to the
+//     disk index with a sequential pass when full — the DEBAR authors'
+//     stand-in for DDFS's unpublished index-update mechanism (§6: "we
+//     use a in-memory write buffer to speedup the disk update for DDFS
+//     ... the system pauses to flush the buffer to the disk index using
+//     the SIU algorithm").
+//
+// The inline dedup decision for one incoming fingerprint:
+//
+//  1. absent from the summary vector → definitely new, no disk I/O;
+//  2. present → possibly stored: check LPC; a hit is a duplicate;
+//  3. LPC miss → one random disk-index lookup; if found, prefetch the
+//     container's fingerprint metadata into LPC (duplicate); if not
+//     found the summary vector fired a false positive and the chunk is
+//     new — the random I/O was wasted, which is why capacity beyond the
+//     Bloom filter's sizing collapses throughput (Figure 12).
+package ddfs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"debar/internal/bloom"
+	"debar/internal/container"
+	"debar/internal/diskindex"
+	"debar/internal/disksim"
+	"debar/internal/fp"
+	"debar/internal/lpc"
+	"debar/internal/tpds"
+)
+
+// Config sizes a DDFS server.
+type Config struct {
+	IndexBits          uint // disk-index bucket bits
+	IndexBlocks        int  // disk-index bucket size in 512B blocks
+	BloomCapacity      int64
+	BloomBitsPerFP     float64 // m/n; 8 at the paper's operating point
+	BloomK             int
+	WriteBufferEntries int // flush threshold (256 MB / 25 B in the paper)
+	LPCContainers      int // 128 MB / 8 MB = 16 in the paper's testbed
+	ContainerSize      int
+	MetaOnly           bool
+}
+
+// DefaultConfig mirrors the paper's testbed for a given Bloom capacity.
+func DefaultConfig(bloomCapacity int64) Config {
+	return Config{
+		IndexBits:          26,
+		IndexBlocks:        1,
+		BloomCapacity:      bloomCapacity,
+		BloomBitsPerFP:     8,
+		BloomK:             4,
+		WriteBufferEntries: int(256 << 20 / fp.EntrySize),
+		LPCContainers:      16,
+		ContainerSize:      container.DefaultSize,
+		MetaOnly:           true,
+	}
+}
+
+// Stats are cumulative server counters.
+type Stats struct {
+	LogicalBytes     int64
+	TransferredBytes int64
+	StoredBytes      int64
+	NewChunks        int64
+	DupChunks        int64
+	BloomMisses      int64 // fast path: definitely new
+	LPCHits          int64
+	RandomLookups    int64 // LPC misses → random disk I/O
+	FalsePositives   int64 // random lookups that found nothing
+	Flushes          int64 // write-buffer flush pauses
+	FlushTime        time.Duration
+}
+
+// Server is a single DDFS backup server.
+type Server struct {
+	cfg    Config
+	sv     *bloom.Filter
+	cache  *lpc.Cache
+	ix     *diskindex.Index
+	repo   container.Repository
+	link   *disksim.Link
+	writer *container.Writer
+	open   []fp.FP
+	inOpen map[fp.FP]bool
+	wbuf   []fp.Entry
+	inWbuf map[fp.FP]fp.ContainerID
+	stats  Stats
+}
+
+// New builds a DDFS server over the given index, repository and NIC model.
+// ix and link may carry nil cost models for pure-functional tests.
+func New(cfg Config, ix *diskindex.Index, repo container.Repository, link *disksim.Link) (*Server, error) {
+	if cfg.BloomCapacity <= 0 {
+		return nil, fmt.Errorf("ddfs: bloom capacity %d", cfg.BloomCapacity)
+	}
+	sv, err := bloom.NewForCapacity(cfg.BloomCapacity, cfg.BloomBitsPerFP, cfg.BloomK)
+	if err != nil {
+		return nil, fmt.Errorf("ddfs: summary vector: %w", err)
+	}
+	if cfg.ContainerSize <= 0 {
+		cfg.ContainerSize = container.DefaultSize
+	}
+	if cfg.WriteBufferEntries <= 0 {
+		cfg.WriteBufferEntries = int(256 << 20 / fp.EntrySize)
+	}
+	return &Server{
+		cfg:    cfg,
+		sv:     sv,
+		cache:  lpc.New(cfg.LPCContainers),
+		ix:     ix,
+		repo:   repo,
+		link:   link,
+		writer: container.NewWriter(cfg.ContainerSize, cfg.MetaOnly),
+		inOpen: make(map[fp.FP]bool),
+		inWbuf: make(map[fp.FP]fp.ContainerID),
+	}, nil
+}
+
+// Index exposes the server's disk index (for restore paths and tests).
+func (s *Server) Index() *diskindex.Index { return s.ix }
+
+// SummaryVector exposes the Bloom filter.
+func (s *Server) SummaryVector() *bloom.Filter { return s.sv }
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats { return s.stats }
+
+// Backup processes one chunk of the inline backup stream and reports
+// whether it was new (stored). data may be nil in MetaOnly mode.
+//
+// DDFS deduplicates at the server, inline: the whole logical stream
+// crosses the network before the summary vector and caches see it, which
+// is why the paper measures DDFS capped at the NIC's 210 MB/s (§6.1.2)
+// while DEBAR's dedup-1 filtering multiplies effective client bandwidth.
+func (s *Server) Backup(f fp.FP, size uint32, data []byte) (bool, error) {
+	s.stats.LogicalBytes += int64(size)
+	s.stats.TransferredBytes += int64(size)
+	if s.link != nil {
+		s.link.Transfer(int64(size), 0)
+	}
+
+	if dup, err := s.isDuplicate(f); err != nil {
+		return false, err
+	} else if dup {
+		s.stats.DupChunks++
+		return false, nil
+	}
+
+	// New chunk: store.
+	s.stats.NewChunks++
+	s.stats.StoredBytes += int64(size)
+	if !s.writer.Fits(int(size)) {
+		if err := s.sealContainer(); err != nil {
+			return true, err
+		}
+	}
+	if !s.writer.Add(f, size, data) {
+		return true, fmt.Errorf("ddfs: chunk of %d bytes exceeds container size %d", size, s.cfg.ContainerSize)
+	}
+	s.open = append(s.open, f)
+	s.inOpen[f] = true
+	s.sv.Add(f)
+	return true, nil
+}
+
+// isDuplicate runs the DDFS decision chain.
+func (s *Server) isDuplicate(f fp.FP) (bool, error) {
+	// Stream-local state first: the open container and the write buffer
+	// hold new fingerprints not yet visible in the index.
+	if s.inOpen[f] {
+		return true, nil
+	}
+	if _, ok := s.inWbuf[f]; ok {
+		return true, nil
+	}
+	if !s.sv.Test(f) {
+		s.stats.BloomMisses++
+		return false, nil // summary vector: definitely new
+	}
+	if _, ok := s.cache.Lookup(f); ok {
+		s.stats.LPCHits++
+		return true, nil
+	}
+	// Random on-disk index lookup.
+	s.stats.RandomLookups++
+	cid, err := s.ix.Lookup(f)
+	if errors.Is(err, diskindex.ErrNotFound) {
+		s.stats.FalsePositives++
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	// Prefetch the container's fingerprints (locality-preserved caching).
+	metas, err := s.repo.LoadMeta(cid)
+	if err != nil {
+		return false, fmt.Errorf("ddfs: LPC prefetch of %v: %w", cid, err)
+	}
+	s.cache.Insert(cid, metas, nil)
+	return true, nil
+}
+
+// sealContainer appends the open container and moves its fingerprints to
+// the write buffer, flushing the buffer to the disk index when full.
+func (s *Server) sealContainer() error {
+	if s.writer.Empty() {
+		return nil
+	}
+	id, err := s.repo.Append(s.writer.Seal(0))
+	if err != nil {
+		return err
+	}
+	for _, f := range s.open {
+		s.wbuf = append(s.wbuf, fp.Entry{FP: f, CID: id})
+		s.inWbuf[f] = id
+	}
+	s.open = s.open[:0]
+	clear(s.inOpen)
+	if len(s.wbuf) >= s.cfg.WriteBufferEntries {
+		return s.Flush()
+	}
+	return nil
+}
+
+// Flush writes the buffered entries to the disk index with one sequential
+// pass, pausing the backup stream (§6: "the system pauses to flush the
+// buffer to the disk index using the SIU algorithm").
+func (s *Server) Flush() error {
+	if len(s.wbuf) == 0 {
+		return nil
+	}
+	var t0 time.Duration
+	if d := s.ix.Disk(); d != nil {
+		t0 = d.Clock.Now()
+	}
+	if err := tpds.SIU(s.ix, s.wbuf, 0); err != nil {
+		return fmt.Errorf("ddfs: write-buffer flush: %w", err)
+	}
+	if d := s.ix.Disk(); d != nil {
+		s.stats.FlushTime += d.Clock.Now() - t0
+	}
+	s.stats.Flushes++
+	s.wbuf = s.wbuf[:0]
+	clear(s.inWbuf)
+	return nil
+}
+
+// Finish seals the open container and flushes the write buffer at the end
+// of a backup window.
+func (s *Server) Finish() error {
+	if err := s.sealContainer(); err != nil {
+		return err
+	}
+	return s.Flush()
+}
+
+// EffectiveFPR returns the summary vector's analytic false-positive rate
+// at its current fill: the quantity that destroys DDFS throughput once
+// stored fingerprints exceed the filter's sizing (Figure 12).
+func (s *Server) EffectiveFPR() float64 { return s.sv.FalsePositiveRate() }

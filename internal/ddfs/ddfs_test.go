@@ -1,0 +1,232 @@
+package ddfs
+
+import (
+	"testing"
+
+	"debar/internal/container"
+	"debar/internal/diskindex"
+	"debar/internal/disksim"
+	"debar/internal/fp"
+)
+
+func newServer(t *testing.T, bloomCap int64, wbufEntries int) (*Server, *container.MemRepository) {
+	t.Helper()
+	ix, err := diskindex.NewMem(diskindex.Config{BucketBits: 10, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := container.NewMemRepository(true, nil)
+	cfg := DefaultConfig(bloomCap)
+	cfg.IndexBits = 10
+	cfg.ContainerSize = 16 << 10
+	cfg.WriteBufferEntries = wbufEntries
+	s, err := New(cfg, ix, repo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, repo
+}
+
+func TestNewChunksStoredOnce(t *testing.T) {
+	s, repo := newServer(t, 1<<16, 1<<20)
+	for i := 0; i < 100; i++ {
+		isNew, err := s.Backup(fp.FromUint64(uint64(i)), 1000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isNew {
+			t.Fatalf("fresh chunk %d reported duplicate", i)
+		}
+	}
+	// Same stream again: all duplicates.
+	for i := 0; i < 100; i++ {
+		isNew, err := s.Backup(fp.FromUint64(uint64(i)), 1000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isNew {
+			t.Fatalf("repeated chunk %d reported new", i)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.NewChunks != 100 || st.DupChunks != 100 {
+		t.Fatalf("new=%d dup=%d", st.NewChunks, st.DupChunks)
+	}
+	if st.StoredBytes != 100*1000 || repo.Bytes() != 100*1000 {
+		t.Fatalf("stored=%d repo=%d", st.StoredBytes, repo.Bytes())
+	}
+	if st.LogicalBytes != 200*1000 {
+		t.Fatalf("logical=%d", st.LogicalBytes)
+	}
+}
+
+func TestBloomFastPath(t *testing.T) {
+	s, _ := newServer(t, 1<<16, 1<<20)
+	for i := 0; i < 50; i++ {
+		_, _ = s.Backup(fp.FromUint64(uint64(i)), 100, nil)
+	}
+	st := s.Stats()
+	// Almost every fresh chunk should be resolved by the summary vector
+	// alone (no random lookups for new data).
+	if st.BloomMisses < 45 {
+		t.Fatalf("bloom fast path used only %d/50 times", st.BloomMisses)
+	}
+	if st.RandomLookups > 5 {
+		t.Fatalf("%d random lookups for fresh data", st.RandomLookups)
+	}
+}
+
+func TestDuplicatesAcrossFlushUseLPC(t *testing.T) {
+	// Write a stream, flush everything to the index, then back up the
+	// same stream: the first duplicate in each container misses LPC (one
+	// random lookup + prefetch) and the rest hit.
+	s, _ := newServer(t, 1<<16, 1<<20)
+	const n = 256
+	for i := 0; i < n; i++ {
+		_, _ = s.Backup(fp.FromUint64(uint64(i)), 1000, nil)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		isNew, err := s.Backup(fp.FromUint64(uint64(i)), 1000, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if isNew {
+			t.Fatalf("chunk %d reported new after flush", i)
+		}
+	}
+	st := s.Stats()
+	if st.DupChunks != n {
+		t.Fatalf("dups=%d", st.DupChunks)
+	}
+	// 16KB containers of ~970B-effective chunks ≈ 16 per container →
+	// ≈16 containers → ≈16 random lookups, rest LPC hits.
+	if st.RandomLookups > n/4 {
+		t.Fatalf("random lookups = %d, LPC not effective", st.RandomLookups)
+	}
+	if st.LPCHits < n/2 {
+		t.Fatalf("LPC hits = %d", st.LPCHits)
+	}
+}
+
+func TestWriteBufferFlushPauses(t *testing.T) {
+	disk := disksim.NewDisk(disksim.DefaultRAID())
+	ix, _ := diskindex.New(diskindex.NewMemStore(0), diskindex.Config{BucketBits: 10, BucketBlocks: 1}, disk)
+	repo := container.NewMemRepository(true, nil)
+	cfg := DefaultConfig(1 << 16)
+	cfg.ContainerSize = 8 << 10
+	cfg.WriteBufferEntries = 16 // tiny buffer → frequent flushes
+	s, err := New(cfg, ix, repo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := s.Backup(fp.FromUint64(uint64(i)), 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Flushes < 5 {
+		t.Fatalf("flushes = %d, want several", st.Flushes)
+	}
+	if st.FlushTime == 0 {
+		t.Fatal("flush time not accounted")
+	}
+	// Everything must be findable in the index afterwards.
+	for i := 0; i < 200; i++ {
+		if _, err := ix.Lookup(fp.FromUint64(uint64(i))); err != nil {
+			t.Fatalf("post-flush lookup %d: %v", i, err)
+		}
+	}
+}
+
+func TestIntraStreamDuplicatesBeforeFlush(t *testing.T) {
+	// A duplicate arriving while its first copy is still in the open
+	// container or write buffer must not be stored twice.
+	s, repo := newServer(t, 1<<16, 1<<20)
+	f := fp.FromUint64(42)
+	_, _ = s.Backup(f, 1000, nil)
+	isNew, _ := s.Backup(f, 1000, nil) // still in open container
+	if isNew {
+		t.Fatal("open-container duplicate stored")
+	}
+	// Force a seal by filling the container, then repeat.
+	for i := 0; i < 40; i++ {
+		_, _ = s.Backup(fp.FromUint64(uint64(1000+i)), 1000, nil)
+	}
+	isNew, _ = s.Backup(f, 1000, nil) // now in write buffer
+	if isNew {
+		t.Fatal("write-buffer duplicate stored")
+	}
+	_ = s.Finish()
+	if repo.Bytes() != 41*1000 {
+		t.Fatalf("repo holds %d bytes, want 41000", repo.Bytes())
+	}
+}
+
+func TestFalsePositiveCausesWastedLookup(t *testing.T) {
+	// Overfill a deliberately tiny Bloom filter: new chunks increasingly
+	// hit the summary vector falsely, forcing wasted random lookups —
+	// the Figure 12 failure mode.
+	s, _ := newServer(t, 256, 1<<20) // filter sized for 256 fps
+	for i := 0; i < 8192; i++ {
+		if _, err := s.Backup(fp.FromUint64(uint64(i)), 100, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.FalsePositives == 0 {
+		t.Fatal("no false positives despite 32x overfill")
+	}
+	if s.EffectiveFPR() < 0.5 {
+		t.Fatalf("analytic FPR = %v, want near saturation", s.EffectiveFPR())
+	}
+	if st.NewChunks != 8192 {
+		t.Fatalf("false positives corrupted dedup: new=%d", st.NewChunks)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	ix, _ := diskindex.NewMem(diskindex.Config{BucketBits: 8, BucketBlocks: 1}, nil)
+	repo := container.NewMemRepository(true, nil)
+	if _, err := New(DefaultConfig(0), ix, repo, nil); err == nil {
+		t.Fatal("zero bloom capacity accepted")
+	}
+}
+
+func TestNetworkAccounting(t *testing.T) {
+	link := disksim.NewLink(disksim.DefaultNIC())
+	ix, _ := diskindex.NewMem(diskindex.Config{BucketBits: 8, BucketBlocks: 1}, nil)
+	repo := container.NewMemRepository(true, nil)
+	cfg := DefaultConfig(1 << 12)
+	cfg.ContainerSize = 8 << 10
+	s, _ := New(cfg, ix, repo, link)
+	_, _ = s.Backup(fp.FromUint64(1), 210_000_000, nil) // ~1s of NIC time
+	if got := link.Clock.Now().Seconds(); got < 0.9 || got > 1.2 {
+		t.Fatalf("link time = %vs, want ≈1s", got)
+	}
+}
+
+func BenchmarkBackupDup(b *testing.B) {
+	ix, _ := diskindex.NewMem(diskindex.Config{BucketBits: 12, BucketBlocks: 1}, nil)
+	repo := container.NewMemRepository(true, nil)
+	cfg := DefaultConfig(1 << 22)
+	cfg.ContainerSize = 1 << 20
+	s, _ := New(cfg, ix, repo, nil)
+	for i := 0; i < 1<<14; i++ {
+		_, _ = s.Backup(fp.FromUint64(uint64(i)), 8192, nil)
+	}
+	_ = s.Finish()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Backup(fp.FromUint64(uint64(i%(1<<14))), 8192, nil)
+	}
+}

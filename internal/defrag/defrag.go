@@ -1,0 +1,151 @@
+// Package defrag implements DEBAR's defragmentation mechanism (paper
+// §6.3): chunk sharing across files spreads a file's chunks over many
+// storage nodes of the chunk repository, degrading read throughput over
+// time; the defragmenter "automatically aggregates file chunks to one or
+// few storage nodes".
+//
+// The planner works at container granularity: for each file (a sequence
+// of container references derived from its file index), it finds the node
+// already holding the plurality of the file's containers and proposes
+// moving that file's stray containers there — bounded by a per-run move
+// budget and skipping containers that other files anchor elsewhere more
+// strongly.
+package defrag
+
+import (
+	"fmt"
+	"sort"
+
+	"debar/internal/container"
+	"debar/internal/fp"
+)
+
+// FileRef names a file and the containers its chunks live in (obtained by
+// resolving the file index's fingerprints through the disk index).
+type FileRef struct {
+	Name       string
+	Containers []fp.ContainerID
+}
+
+// Move relocates one container.
+type Move struct {
+	Container fp.ContainerID
+	From, To  int
+}
+
+// Spread returns the average number of distinct storage nodes per file:
+// the fragmentation metric the mechanism drives down.
+func Spread(repo *container.ClusterRepository, files []FileRef) float64 {
+	if len(files) == 0 {
+		return 0
+	}
+	total := 0
+	for _, f := range files {
+		nodes := map[int]bool{}
+		for _, cid := range f.Containers {
+			if n, ok := repo.NodeOf(cid); ok {
+				nodes[n] = true
+			}
+		}
+		total += len(nodes)
+	}
+	return float64(total) / float64(len(files))
+}
+
+// Plan proposes up to maxMoves container relocations that reduce file
+// spread. Containers referenced by multiple files are assigned to the
+// node where the *most referencing* file majority sits, so competing
+// files do not thrash a shared container back and forth.
+func Plan(repo *container.ClusterRepository, files []FileRef, maxMoves int) ([]Move, error) {
+	if maxMoves <= 0 {
+		maxMoves = 1 << 30
+	}
+	// Per-file home node: plurality of its containers' current nodes.
+	home := make([]int, len(files))
+	for i, f := range files {
+		counts := map[int]int{}
+		for _, cid := range f.Containers {
+			if n, ok := repo.NodeOf(cid); ok {
+				counts[n]++
+			} else {
+				return nil, fmt.Errorf("defrag: file %q references unknown container %v", f.Name, cid)
+			}
+		}
+		best, bestN := 0, -1
+		for n, c := range counts {
+			if c > bestN || (c == bestN && n < best) {
+				best, bestN = n, c
+			}
+		}
+		home[i] = best
+	}
+	// Per-container desired node: weight each referencing file's home by
+	// how many of the file's chunks the container carries.
+	type vote struct{ weight map[int]int }
+	votes := map[fp.ContainerID]*vote{}
+	for i, f := range files {
+		perContainer := map[fp.ContainerID]int{}
+		for _, cid := range f.Containers {
+			perContainer[cid]++
+		}
+		for cid, w := range perContainer {
+			v := votes[cid]
+			if v == nil {
+				v = &vote{weight: map[int]int{}}
+				votes[cid] = v
+			}
+			v.weight[home[i]] += w
+		}
+	}
+
+	var moves []Move
+	cids := make([]fp.ContainerID, 0, len(votes))
+	for cid := range votes {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	for _, cid := range cids {
+		v := votes[cid]
+		cur, ok := repo.NodeOf(cid)
+		if !ok {
+			continue
+		}
+		want, wantW := cur, v.weight[cur]
+		for n, w := range v.weight {
+			if w > wantW || (w == wantW && n < want) {
+				want, wantW = n, w
+			}
+		}
+		if want != cur {
+			moves = append(moves, Move{Container: cid, From: cur, To: want})
+			if len(moves) >= maxMoves {
+				break
+			}
+		}
+	}
+	return moves, nil
+}
+
+// Apply executes the plan against the repository.
+func Apply(repo *container.ClusterRepository, moves []Move) error {
+	for _, m := range moves {
+		if err := repo.MoveContainer(m.Container, m.To); err != nil {
+			return fmt.Errorf("defrag: moving %v: %w", m.Container, err)
+		}
+	}
+	return nil
+}
+
+// Run plans and applies in one step, returning the spread before/after
+// and the move count.
+func Run(repo *container.ClusterRepository, files []FileRef, maxMoves int) (before, after float64, moved int, err error) {
+	before = Spread(repo, files)
+	moves, err := Plan(repo, files, maxMoves)
+	if err != nil {
+		return before, 0, 0, err
+	}
+	if err := Apply(repo, moves); err != nil {
+		return before, 0, len(moves), err
+	}
+	return before, Spread(repo, files), len(moves), nil
+}

@@ -1,0 +1,299 @@
+// Package director implements DEBAR's dedicated control centre (paper
+// §3.1): job objects with client/dataset/schedule attributes, a job
+// scheduler that assigns backup jobs to backup servers for load
+// balancing, and a metadata manager holding job metadata and file indices.
+// The director also monitors the backup servers and initiates dedup-2
+// jobs.
+package director
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+// Job is a backup job object (§3.1): "a client attribute that specifies a
+// backup client for the job, a dataset attribute that specifies the list
+// of files and directories needing backup ... and a schedule attribute".
+type Job struct {
+	Name     string
+	Client   string
+	Dataset  []string
+	Schedule string // e.g. "daily at 1.05am" (informational; Scheduler drives)
+}
+
+// Run is one execution of a job.
+type Run struct {
+	ID      uint64
+	Job     string
+	Client  string
+	Started time.Time
+	Files   []proto.FileEntry
+}
+
+// serverInfo tracks a registered backup server.
+type serverInfo struct {
+	id   int
+	addr string
+	load int64 // assigned jobs, for least-loaded scheduling
+}
+
+// Director is the control centre. All exported methods are safe for
+// concurrent use.
+type Director struct {
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	runs    map[string][]*Run // job → chronological runs (the job chain)
+	nextRun uint64
+	servers []*serverInfo
+	ln      net.Listener
+	logf    func(string, ...any)
+}
+
+// New returns an empty director.
+func New() *Director {
+	return &Director{
+		jobs: make(map[string]*Job),
+		runs: make(map[string][]*Run),
+		logf: func(string, ...any) {},
+	}
+}
+
+// SetLogger installs a log function (e.g. log.Printf).
+func (d *Director) SetLogger(f func(string, ...any)) {
+	if f != nil {
+		d.logf = f
+	}
+}
+
+// DefineJob registers (or replaces) a job object.
+func (d *Director) DefineJob(j Job) error {
+	if j.Name == "" {
+		return errors.New("director: job needs a name")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.jobs[j.Name] = &j
+	return nil
+}
+
+// Jobs lists defined jobs sorted by name.
+func (d *Director) Jobs() []Job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Job, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// RegisterServer records a backup server and returns its ID.
+func (d *Director) RegisterServer(addr string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := len(d.servers)
+	d.servers = append(d.servers, &serverInfo{id: id, addr: addr})
+	d.logf("director: server %d registered at %s", id, addr)
+	return id
+}
+
+// Servers lists registered backup server addresses.
+func (d *Director) Servers() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.servers))
+	for i, s := range d.servers {
+		out[i] = s.addr
+	}
+	return out
+}
+
+// AssignServer picks the least-loaded backup server for a job (§3.1 load
+// balancing) and accounts the assignment.
+func (d *Director) AssignServer() (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.servers) == 0 {
+		return "", errors.New("director: no backup servers registered")
+	}
+	best := d.servers[0]
+	for _, s := range d.servers[1:] {
+		if s.load < best.load {
+			best = s
+		}
+	}
+	best.load++
+	return best.addr, nil
+}
+
+// NewRun opens a run for a job, creating the job on the fly if the client
+// backs up an undefined job name.
+func (d *Director) NewRun(jobName, client string) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.jobs[jobName]; !ok {
+		d.jobs[jobName] = &Job{Name: jobName, Client: client}
+	}
+	d.nextRun++
+	run := &Run{ID: d.nextRun, Job: jobName, Client: client, Started: time.Now()}
+	d.runs[jobName] = append(d.runs[jobName], run)
+	return run.ID
+}
+
+// PutFileIndex stores a file's metadata and index under a run.
+func (d *Director) PutFileIndex(jobName string, runID uint64, e proto.FileEntry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	runs := d.runs[jobName]
+	for i := len(runs) - 1; i >= 0; i-- {
+		if runs[i].ID == runID {
+			runs[i].Files = append(runs[i].Files, e)
+			return nil
+		}
+	}
+	return fmt.Errorf("director: unknown run %d of job %q", runID, jobName)
+}
+
+// LatestFiles returns the most recent completed run's file entries.
+func (d *Director) LatestFiles(jobName string) (uint64, []proto.FileEntry, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	runs := d.runs[jobName]
+	for i := len(runs) - 1; i >= 0; i-- {
+		if len(runs[i].Files) > 0 {
+			return runs[i].ID, runs[i].Files, nil
+		}
+	}
+	return 0, nil, fmt.Errorf("director: job %q has no completed runs", jobName)
+}
+
+// FilterFPs returns the fingerprints of the job's previous run: the
+// filtering fingerprints of the job-chain preliminary filter (§5.1,
+// "we use the fingerprints of the dataset of Job(t_{n-1}) as filtering
+// fingerprints to filter duplication in the dataset of Job(t_n)").
+func (d *Director) FilterFPs(jobName string) []fp.FP {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	runs := d.runs[jobName]
+	for i := len(runs) - 1; i >= 0; i-- {
+		if len(runs[i].Files) > 0 {
+			var fps []fp.FP
+			for _, f := range runs[i].Files {
+				fps = append(fps, f.Chunks...)
+			}
+			return fps
+		}
+	}
+	return nil
+}
+
+// TriggerDedup2 asks every registered backup server to run dedup-2 (§3.1:
+// "the director initiates a dedup-2 job in which all the backup servers
+// cooperate to store new chunks").
+func (d *Director) TriggerDedup2(runSIU bool) error {
+	for _, addr := range d.Servers() {
+		conn, err := proto.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("director: dedup-2 trigger: %w", err)
+		}
+		if err := conn.Send(proto.Dedup2Request{RunSIU: runSIU}); err != nil {
+			conn.Close()
+			return err
+		}
+		msg, err := conn.Recv()
+		conn.Close()
+		if err != nil {
+			return fmt.Errorf("director: dedup-2 reply: %w", err)
+		}
+		done, ok := msg.(proto.Dedup2Done)
+		if !ok {
+			return fmt.Errorf("director: unexpected dedup-2 reply %T", msg)
+		}
+		if done.Err != "" {
+			return fmt.Errorf("director: server %s dedup-2: %s", addr, done.Err)
+		}
+		d.logf("director: %s dedup-2 done: %d new, %d dup, %d containers",
+			addr, done.NewChunks, done.DupChunks, done.Containers)
+	}
+	return nil
+}
+
+// Serve starts the director's TCP endpoint. It returns after the listener
+// is ready; the accept loop runs until Close.
+func (d *Director) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("director: listen: %w", err)
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.mu.Unlock()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go d.handle(proto.NewConn(c))
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (d *Director) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.ln != nil {
+		return d.ln.Close()
+	}
+	return nil
+}
+
+// handle serves one connection (a backup server or a tool).
+func (d *Director) handle(conn *proto.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var reply any
+		switch m := msg.(type) {
+		case proto.RegisterServer:
+			reply = proto.RegisterOK{ServerID: d.RegisterServer(m.Addr)}
+		case proto.NewRun:
+			reply = proto.NewRunOK{RunID: d.NewRun(m.JobName, m.Client)}
+		case proto.PutFileIndex:
+			if err := d.PutFileIndex(m.JobName, m.RunID, m.Entry); err != nil {
+				reply = proto.Ack{OK: false, Err: err.Error()}
+			} else {
+				reply = proto.Ack{OK: true}
+			}
+		case proto.GetJobFiles:
+			runID, files, err := d.LatestFiles(m.JobName)
+			if err != nil {
+				reply = proto.Ack{OK: false, Err: err.Error()}
+			} else {
+				reply = proto.JobFiles{RunID: runID, Entries: files}
+			}
+		case proto.GetFilterFPs:
+			reply = proto.FilterFPs{FPs: d.FilterFPs(m.JobName)}
+		default:
+			reply = proto.Ack{OK: false, Err: fmt.Sprintf("unexpected message %T", msg)}
+		}
+		if err := conn.Send(reply); err != nil {
+			log.Printf("director: send: %v", err)
+			return
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package director
+
+import (
+	"testing"
+
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+func TestDefineJob(t *testing.T) {
+	d := New()
+	if err := d.DefineJob(Job{}); err == nil {
+		t.Fatal("nameless job accepted")
+	}
+	if err := d.DefineJob(Job{Name: "b", Client: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineJob(Job{Name: "a", Schedule: "daily at 1.05am"}); err != nil {
+		t.Fatal(err)
+	}
+	jobs := d.Jobs()
+	if len(jobs) != 2 || jobs[0].Name != "a" || jobs[1].Name != "b" {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+func TestAssignServerBalances(t *testing.T) {
+	d := New()
+	if _, err := d.AssignServer(); err == nil {
+		t.Fatal("assignment without servers succeeded")
+	}
+	d.RegisterServer("s0")
+	d.RegisterServer("s1")
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		addr, err := d.AssignServer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[addr]++
+	}
+	if counts["s0"] != 5 || counts["s1"] != 5 {
+		t.Fatalf("unbalanced assignment: %v", counts)
+	}
+}
+
+func TestRunsAndFileIndices(t *testing.T) {
+	d := New()
+	run1 := d.NewRun("job", "client")
+	entry := proto.FileEntry{Path: "f1", Chunks: []fp.FP{fp.FromUint64(1), fp.FromUint64(2)}}
+	if err := d.PutFileIndex("job", run1, entry); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.PutFileIndex("job", 999, entry); err == nil {
+		t.Fatal("unknown run accepted")
+	}
+	id, files, err := d.LatestFiles("job")
+	if err != nil || id != run1 || len(files) != 1 {
+		t.Fatalf("LatestFiles = %d files run %d err %v", len(files), id, err)
+	}
+	if _, _, err := d.LatestFiles("ghost"); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestFilterFPsComeFromPreviousRun(t *testing.T) {
+	d := New()
+	if fps := d.FilterFPs("job"); fps != nil {
+		t.Fatal("filter fps for unknown job")
+	}
+	run1 := d.NewRun("job", "c")
+	_ = d.PutFileIndex("job", run1, proto.FileEntry{
+		Path: "f", Chunks: []fp.FP{fp.FromUint64(1), fp.FromUint64(2)},
+	})
+	// A new (empty) run does not hide the previous completed one.
+	_ = d.NewRun("job", "c")
+	fps := d.FilterFPs("job")
+	if len(fps) != 2 {
+		t.Fatalf("filter fps = %d, want 2", len(fps))
+	}
+}
+
+func TestJobChainAccumulatesRuns(t *testing.T) {
+	d := New()
+	r1 := d.NewRun("chain", "c")
+	_ = d.PutFileIndex("chain", r1, proto.FileEntry{Path: "v1", Chunks: []fp.FP{fp.FromUint64(1)}})
+	r2 := d.NewRun("chain", "c")
+	_ = d.PutFileIndex("chain", r2, proto.FileEntry{Path: "v2", Chunks: []fp.FP{fp.FromUint64(2)}})
+	id, files, err := d.LatestFiles("chain")
+	if err != nil || id != r2 {
+		t.Fatalf("latest run = %d err %v", id, err)
+	}
+	if files[0].Path != "v2" {
+		t.Fatalf("latest files = %+v", files)
+	}
+	// Filtering fingerprints follow the newest completed run.
+	fps := d.FilterFPs("chain")
+	if len(fps) != 1 || fps[0] != fp.FromUint64(2) {
+		t.Fatalf("filter fps = %v", fps)
+	}
+}
+
+func TestServeHandlesMetadataProtocol(t *testing.T) {
+	d := New()
+	addr, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	conn, err := proto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.Send(proto.RegisterServer{Addr: "srv:1"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, is := msg.(proto.RegisterOK); !is || ok.ServerID != 0 {
+		t.Fatalf("RegisterOK = %+v", msg)
+	}
+
+	if err := conn.Send(proto.NewRun{JobName: "j", Client: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, _ = conn.Recv()
+	run := msg.(proto.NewRunOK)
+
+	entry := proto.FileEntry{Path: "x", Chunks: []fp.FP{fp.FromUint64(5)}}
+	_ = conn.Send(proto.PutFileIndex{JobName: "j", RunID: run.RunID, Entry: entry})
+	msg, _ = conn.Recv()
+	if ack := msg.(proto.Ack); !ack.OK {
+		t.Fatalf("PutFileIndex refused: %s", ack.Err)
+	}
+
+	_ = conn.Send(proto.GetJobFiles{JobName: "j"})
+	msg, _ = conn.Recv()
+	files := msg.(proto.JobFiles)
+	if len(files.Entries) != 1 || files.Entries[0].Path != "x" {
+		t.Fatalf("JobFiles = %+v", files)
+	}
+
+	_ = conn.Send(proto.GetFilterFPs{JobName: "j"})
+	msg, _ = conn.Recv()
+	ff := msg.(proto.FilterFPs)
+	if len(ff.FPs) != 1 || ff.FPs[0] != fp.FromUint64(5) {
+		t.Fatalf("FilterFPs = %+v", ff)
+	}
+
+	// Unknown messages get a graceful error Ack.
+	_ = conn.Send(proto.BackupStart{JobName: "j"})
+	msg, _ = conn.Recv()
+	if ack, is := msg.(proto.Ack); !is || ack.OK {
+		t.Fatalf("unexpected-message reply = %+v", msg)
+	}
+}

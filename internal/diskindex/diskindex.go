@@ -1,0 +1,371 @@
+// Package diskindex implements the DEBAR disk index (paper §4): a hash
+// table of fixed-sized buckets where a fingerprint's first n bits select
+// its bucket. This simple mapping yields the four properties the paper
+// builds on:
+//
+//   - uniform fingerprint distribution (SHA-1 randomness),
+//   - number-ordered fingerprint distribution, enabling sequential index
+//     lookup and update (SIL/SIU, §5),
+//   - simple capacity scaling: doubling the bucket count by copying bucket
+//     k's entries into buckets 2k and 2k+1,
+//   - simple performance scaling: splitting the index into 2^w parts by
+//     the first w fingerprint bits, one part per backup server.
+//
+// Buckets are built from 512-byte disk blocks, each holding up to 20
+// 25-byte entries (§4.2). When a bucket overflows, the entry is placed in
+// an adjacent bucket; if both neighbours are also full the index needs to
+// be enlarged (ErrIndexFull).
+package diskindex
+
+import (
+	"errors"
+	"fmt"
+
+	"debar/internal/disksim"
+	"debar/internal/fp"
+)
+
+const (
+	// BlockSize is the disk block size the index is built from (§4.2).
+	BlockSize = 512
+	// EntriesPerBlock is how many 25-byte entries fit a 512-byte block
+	// (§4.2: "each disk block ... storing up to 20 fingerprint entries").
+	EntriesPerBlock = BlockSize / fp.EntrySize
+)
+
+// Config sizes a disk index.
+type Config struct {
+	// BucketBits is n: the index has 2^n buckets and a fingerprint's
+	// bits [PrefixSkip, PrefixSkip+n) are its bucket number.
+	BucketBits uint
+	// BucketBlocks is the bucket size in 512-byte blocks. The paper
+	// selects 8 KB buckets (16 blocks) for over 80% utilisation (§4.2).
+	BucketBlocks int
+	// PrefixSkip is w: the number of leading fingerprint bits consumed
+	// by performance-scaling partitioning before the bucket number
+	// (§4.1: "the first w bits ... will be used as the backup server
+	// number and then the remaining n−w bits ... as the bucket number").
+	// Zero for an unpartitioned index.
+	PrefixSkip uint
+}
+
+// DefaultBucketBlocks is the paper's chosen 8 KB bucket (§4.2).
+const DefaultBucketBlocks = 16
+
+// BucketBytes returns the size of one bucket in bytes.
+func (c Config) BucketBytes() int { return c.BucketBlocks * BlockSize }
+
+// EntriesPerBucket returns b, the entry capacity of one bucket.
+func (c Config) EntriesPerBucket() int { return c.BucketBlocks * EntriesPerBlock }
+
+// Buckets returns the number of buckets, 2^n.
+func (c Config) Buckets() uint64 { return 1 << c.BucketBits }
+
+// SizeBytes returns the total index size in bytes.
+func (c Config) SizeBytes() int64 { return int64(c.Buckets()) * int64(c.BucketBytes()) }
+
+// Capacity returns the maximum number of entries the index can hold.
+func (c Config) Capacity() int64 { return int64(c.Buckets()) * int64(c.EntriesPerBucket()) }
+
+func (c Config) validate() error {
+	if c.BucketBits == 0 || c.BucketBits > 40 {
+		return fmt.Errorf("diskindex: bucket bits %d out of range [1,40]", c.BucketBits)
+	}
+	if c.BucketBlocks <= 0 {
+		return fmt.Errorf("diskindex: bucket blocks %d must be positive", c.BucketBlocks)
+	}
+	if c.PrefixSkip+c.BucketBits > 64 {
+		return fmt.Errorf("diskindex: prefix skip %d + bucket bits %d exceeds 64", c.PrefixSkip, c.BucketBits)
+	}
+	return nil
+}
+
+// Store is the raw backing storage for index buckets. Implementations are
+// a memory store (tests, experiments) and a file store (cmd tools).
+type Store interface {
+	ReadAt(p []byte, off int64) error
+	WriteAt(p []byte, off int64) error
+	Size() int64
+	Truncate(size int64) error
+}
+
+// ErrIndexFull is returned when an insert finds the target bucket and both
+// of its adjacent buckets full: the signal that the index must be enlarged
+// via capacity scaling (§4.1).
+var ErrIndexFull = errors.New("diskindex: three adjacent buckets full, index needs capacity scaling")
+
+// ErrNotFound is returned by Lookup when the fingerprint is absent.
+var ErrNotFound = errors.New("diskindex: fingerprint not found")
+
+// Index is one DEBAR disk index (or one part of a partitioned index).
+// Methods are not safe for concurrent use; DEBAR serialises index access
+// within a backup server (SIL and SIU are whole-index passes).
+type Index struct {
+	cfg   Config
+	store Store
+	disk  *disksim.Disk // nil disables cost accounting
+	count int64         // entries currently stored
+}
+
+// New opens an index over store, truncating it to the configured size.
+// disk may be nil to disable simulated-I/O accounting.
+func New(store Store, cfg Config, disk *disksim.Disk) (*Index, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := store.Truncate(cfg.SizeBytes()); err != nil {
+		return nil, fmt.Errorf("diskindex: sizing store: %w", err)
+	}
+	return &Index{cfg: cfg, store: store, disk: disk}, nil
+}
+
+// NewMem returns an index backed by memory.
+func NewMem(cfg Config, disk *disksim.Disk) (*Index, error) {
+	return New(NewMemStore(0), cfg, disk)
+}
+
+// Config returns the index geometry.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// Count returns the number of entries stored.
+func (ix *Index) Count() int64 { return ix.count }
+
+// Utilization returns count/capacity.
+func (ix *Index) Utilization() float64 {
+	return float64(ix.count) / float64(ix.cfg.Capacity())
+}
+
+// Disk returns the attached cost model (may be nil).
+func (ix *Index) Disk() *disksim.Disk { return ix.disk }
+
+// BucketOf returns the bucket number a fingerprint maps to: bits
+// [PrefixSkip, PrefixSkip+BucketBits) of the fingerprint.
+func (ix *Index) BucketOf(f fp.FP) uint64 {
+	return f.Prefix(ix.cfg.PrefixSkip+ix.cfg.BucketBits) & (ix.cfg.Buckets() - 1)
+}
+
+func (ix *Index) bucketOff(k uint64) int64 { return int64(k) * int64(ix.cfg.BucketBytes()) }
+
+// readBucket reads bucket k into buf (len = BucketBytes). No I/O charge:
+// callers charge according to access pattern (random vs sequential).
+func (ix *Index) readBucket(k uint64, buf []byte) error {
+	return ix.store.ReadAt(buf, ix.bucketOff(k))
+}
+
+func (ix *Index) writeBucket(k uint64, buf []byte) error {
+	return ix.store.WriteAt(buf, ix.bucketOff(k))
+}
+
+// bucketSlot returns the byte range of entry slot i within a bucket image.
+// Each 512-byte block holds 20 entries followed by 12 pad bytes.
+func bucketSlot(bucket []byte, i int) []byte {
+	block := i / EntriesPerBlock
+	slot := i % EntriesPerBlock
+	off := block*BlockSize + slot*fp.EntrySize
+	return bucket[off : off+fp.EntrySize]
+}
+
+// scanBucket looks for f within a bucket image. It returns the slot index
+// and entry if found, the first free slot otherwise (-1 if full).
+func scanBucket(bucket []byte, f fp.FP, nslots int) (slot int, e fp.Entry, found bool, free int) {
+	free = -1
+	for i := 0; i < nslots; i++ {
+		raw := bucketSlot(bucket, i)
+		ent, _ := fp.DecodeEntry(raw)
+		if ent.FP == f {
+			return i, ent, true, free
+		}
+		if ent.FP.IsZero() && free < 0 {
+			free = i
+		}
+	}
+	return -1, fp.Entry{}, false, free
+}
+
+// bucketFull reports whether a bucket image has no free slot.
+func bucketFull(bucket []byte, nslots int) bool {
+	for i := 0; i < nslots; i++ {
+		if raw := bucketSlot(bucket, i); fp.FP(([20]byte)(raw[:fp.Size])).IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert places e using the random-access path: read the target bucket,
+// write the entry, overflowing to an adjacent bucket when full (§4.1).
+// It charges one random write (read-modify-write) per touched bucket.
+// Insert does not check for duplicates; DEBAR only inserts fingerprints
+// SIL has proven new. It returns ErrIndexFull when the target and both
+// neighbours are full.
+func (ix *Index) Insert(e fp.Entry) error {
+	k := ix.BucketOf(e.FP)
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+
+	try := func(b uint64) (bool, error) {
+		if err := ix.readBucket(b, buf); err != nil {
+			return false, err
+		}
+		if ix.disk != nil {
+			ix.disk.RandWrite(1)
+		}
+		_, _, _, free := scanBucket(buf, e.FP, nslots)
+		if free < 0 {
+			return false, nil
+		}
+		if err := e.Encode(bucketSlot(buf, free)); err != nil {
+			return false, err
+		}
+		if err := ix.writeBucket(b, buf); err != nil {
+			return false, err
+		}
+		ix.count++
+		return true, nil
+	}
+
+	ok, err := try(k)
+	if err != nil || ok {
+		return err
+	}
+	// Overflow: pick an adjacent bucket, alternating on a fingerprint bit
+	// for a balanced, deterministic choice of the "random" neighbour.
+	nb := ix.neighbours(k, e.FP)
+	for _, b := range nb {
+		ok, err := try(b)
+		if err != nil || ok {
+			return err
+		}
+	}
+	return ErrIndexFull
+}
+
+// neighbours lists the adjacent buckets to try, in preference order.
+// Buckets do not wrap: bucket 0 and the last bucket have one neighbour.
+func (ix *Index) neighbours(k uint64, f fp.FP) []uint64 {
+	last := ix.cfg.Buckets() - 1
+	switch {
+	case k == 0:
+		return []uint64{1}
+	case k == last:
+		return []uint64{last - 1}
+	case f[fp.Size-1]&1 == 0:
+		return []uint64{k - 1, k + 1}
+	default:
+		return []uint64{k + 1, k - 1}
+	}
+}
+
+// Lookup finds the container ID for f using the random-access path,
+// checking the target bucket and, if it is full, its neighbours (§4.2:
+// "A random lookup in an overflowed bucket can require two random disk
+// I/Os"). It charges one random read per touched bucket.
+func (ix *Index) Lookup(f fp.FP) (fp.ContainerID, error) {
+	k := ix.BucketOf(f)
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+
+	if err := ix.readBucket(k, buf); err != nil {
+		return 0, err
+	}
+	if ix.disk != nil {
+		ix.disk.RandRead(1)
+	}
+	if _, e, found, _ := scanBucket(buf, f, nslots); found {
+		return e.CID, nil
+	}
+	if !bucketFull(buf, nslots) {
+		return 0, ErrNotFound // overflow impossible if home bucket has space
+	}
+	for _, b := range ix.neighbours(k, f) {
+		if err := ix.readBucket(b, buf); err != nil {
+			return 0, err
+		}
+		if ix.disk != nil {
+			ix.disk.RandRead(1)
+		}
+		if _, e, found, _ := scanBucket(buf, f, nslots); found {
+			return e.CID, nil
+		}
+	}
+	return 0, ErrNotFound
+}
+
+// SetCID updates the container ID of an existing entry in place (random
+// path; used only by recovery tools — normal operation updates through SIU).
+func (ix *Index) SetCID(f fp.FP, cid fp.ContainerID) error {
+	k := ix.BucketOf(f)
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+	candidates := append([]uint64{k}, ix.neighbours(k, f)...)
+	for _, b := range candidates {
+		if err := ix.readBucket(b, buf); err != nil {
+			return err
+		}
+		if ix.disk != nil {
+			ix.disk.RandWrite(1)
+		}
+		if slot, _, found, _ := scanBucket(buf, f, nslots); found {
+			e := fp.Entry{FP: f, CID: cid}
+			if err := e.Encode(bucketSlot(buf, slot)); err != nil {
+				return err
+			}
+			return ix.writeBucket(b, buf)
+		}
+	}
+	return ErrNotFound
+}
+
+// ForEach visits every stored entry in bucket order. The visit order within
+// a bucket is slot order. fn returning false stops the walk.
+func (ix *Index) ForEach(fn func(bucket uint64, e fp.Entry) bool) error {
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+	for k := uint64(0); k < ix.cfg.Buckets(); k++ {
+		if err := ix.readBucket(k, buf); err != nil {
+			return err
+		}
+		for i := 0; i < nslots; i++ {
+			e, _ := fp.DecodeEntry(bucketSlot(buf, i))
+			if e.FP.IsZero() {
+				continue
+			}
+			if !fn(k, e) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises occupancy for tests and the overflow experiments.
+type Stats struct {
+	Entries     int64
+	FullBuckets int64
+	Utilization float64
+}
+
+// ComputeStats walks the index and recomputes occupancy from storage.
+func (ix *Index) ComputeStats() (Stats, error) {
+	var s Stats
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+	for k := uint64(0); k < ix.cfg.Buckets(); k++ {
+		if err := ix.readBucket(k, buf); err != nil {
+			return s, err
+		}
+		used := 0
+		for i := 0; i < nslots; i++ {
+			e, _ := fp.DecodeEntry(bucketSlot(buf, i))
+			if !e.FP.IsZero() {
+				used++
+			}
+		}
+		s.Entries += int64(used)
+		if used == nslots {
+			s.FullBuckets++
+		}
+	}
+	s.Utilization = float64(s.Entries) / float64(ix.cfg.Capacity())
+	return s, nil
+}

@@ -1,0 +1,59 @@
+package diskindex
+
+import (
+	"fmt"
+	"sort"
+
+	"debar/internal/fp"
+)
+
+// Rebuild reconstructs a disk index by scanning the chunk repository's
+// container metadata — the paper's recovery path for a corrupted index
+// (§4.1: "scan the chunk repository to extract necessary information from
+// the containers to the reconstructed bucket entries ... only used to
+// recover a corrupted index"). entries are supplied by the caller walking
+// the repository; Rebuild performs the bulk insert through one sequential
+// update pass and returns the fresh index.
+//
+// When the same fingerprint appears in multiple containers (duplicate
+// storing under asynchronous updates, §5.4), the first mapping wins —
+// matching SIU's behaviour.
+func Rebuild(store Store, cfg Config, entries []fp.Entry) (*Index, error) {
+	ix, err := New(store, cfg, nil)
+	if err != nil {
+		return nil, fmt.Errorf("diskindex: rebuild: %w", err)
+	}
+	// Reuse the SIU-style sequential merge: sort by bucket and insert
+	// window by window. tpds.SIU cannot be called from here (layering),
+	// so use the Update primitive directly.
+	sorted := make([]fp.Entry, len(entries))
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		bi, bj := ix.BucketOf(sorted[i].FP), ix.BucketOf(sorted[j].FP)
+		if bi != bj {
+			return bi < bj
+		}
+		return sorted[i].FP.Less(sorted[j].FP)
+	})
+
+	var leftover []fp.Entry
+	idx := 0
+	err = ix.Update(0, func(w *Window) error {
+		for idx < len(sorted) && ix.BucketOf(sorted[idx].FP) < w.Start+uint64(w.Count) {
+			if err := w.InsertInWindow(sorted[idx]); err != nil {
+				leftover = append(leftover, sorted[idx])
+			}
+			idx++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range leftover {
+		if err := ix.Insert(e); err != nil {
+			return nil, fmt.Errorf("diskindex: rebuild fallback insert: %w", err)
+		}
+	}
+	return ix, nil
+}

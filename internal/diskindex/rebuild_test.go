@@ -1,0 +1,78 @@
+package diskindex
+
+import (
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func TestRebuildRecoversIndex(t *testing.T) {
+	// Build a populated index, extract its entries (as a repository scan
+	// would yield them), and reconstruct a fresh index from scratch —
+	// the §4.1 corrupted-index recovery path.
+	orig := mustNew(t, smallCfg())
+	var entries []fp.Entry
+	for i := 0; i < 700; i++ {
+		e := fp.Entry{FP: fp.FromUint64(uint64(i)), CID: fp.ContainerID(i % 50)}
+		entries = append(entries, e)
+		if err := orig.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rebuilt, err := Rebuild(NewMemStore(0), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Count() != orig.Count() {
+		t.Fatalf("rebuilt %d entries, want %d", rebuilt.Count(), orig.Count())
+	}
+	for _, e := range entries {
+		cid, err := rebuilt.Lookup(e.FP)
+		if err != nil || cid != e.CID {
+			t.Fatalf("rebuilt lookup %v: cid=%v err=%v", e.FP.Short(), cid, err)
+		}
+	}
+}
+
+func TestRebuildKeepsFirstDuplicateMapping(t *testing.T) {
+	// Duplicate storing (§5.4) can leave the same fingerprint in two
+	// containers; rebuild keeps one mapping, matching SIU.
+	f := fp.FromUint64(7)
+	entries := []fp.Entry{{FP: f, CID: 1}, {FP: f, CID: 2}}
+	ix, err := Rebuild(NewMemStore(0), smallCfg(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Count() != 1 {
+		t.Fatalf("count = %d, want 1", ix.Count())
+	}
+	cid, err := ix.Lookup(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cid != 1 && cid != 2 {
+		t.Fatalf("cid = %v", cid)
+	}
+}
+
+func TestRebuildIntoLargerGeometry(t *testing.T) {
+	// Recovery may target a larger index (e.g. after losing the scaled
+	// copy): same entries, more buckets.
+	var entries []fp.Entry
+	for i := 0; i < 500; i++ {
+		entries = append(entries, fp.Entry{FP: fp.FromUint64(uint64(i)), CID: 3})
+	}
+	ix, err := Rebuild(NewMemStore(0), Config{BucketBits: 10, BucketBlocks: 1}, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Count() != 500 {
+		t.Fatalf("count = %d", ix.Count())
+	}
+	for _, e := range entries {
+		if _, err := ix.Lookup(e.FP); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package diskindex
+
+import (
+	"fmt"
+
+	"debar/internal/fp"
+)
+
+// Scale performs the paper's capacity-scaling operation (§4.1): it builds a
+// new index with 2^(n+1) buckets from this one, copying bucket k's entries
+// into buckets 2k and 2k+1 of the new index according to each fingerprint's
+// first n+1 bits. Entries that had overflowed into bucket k from a
+// neighbour are likewise routed by their own prefix, so the new index is
+// overflow-free with respect to the old placements. The operation is a
+// sequential read of the old index plus a sequential write of the new one.
+//
+// newStore receives the enlarged index; pass NewMemStore(0) or a fresh
+// FileStore. The returned index shares this index's disk cost model.
+func (ix *Index) Scale(newStore Store) (*Index, error) {
+	newCfg := Config{
+		BucketBits:   ix.cfg.BucketBits + 1,
+		BucketBlocks: ix.cfg.BucketBlocks,
+		PrefixSkip:   ix.cfg.PrefixSkip,
+	}
+	out, err := New(newStore, newCfg, ix.disk)
+	if err != nil {
+		return nil, err
+	}
+	if ix.disk != nil {
+		ix.disk.SeqRead(ix.cfg.SizeBytes())
+		ix.disk.SeqWrite(newCfg.SizeBytes())
+	}
+
+	nslots := ix.cfg.EntriesPerBucket()
+	oldBucket := make([]byte, ix.cfg.BucketBytes())
+	// Two destination bucket images are live at a time (2k and 2k+1);
+	// overflowed foreign entries are set aside and inserted afterwards.
+	even := make([]byte, newCfg.BucketBytes())
+	odd := make([]byte, newCfg.BucketBytes())
+	var foreign []fp.Entry
+
+	for k := uint64(0); k < ix.cfg.Buckets(); k++ {
+		if err := ix.readBucket(k, oldBucket); err != nil {
+			return nil, err
+		}
+		clear(even)
+		clear(odd)
+		evenUsed, oddUsed := 0, 0
+		for i := 0; i < nslots; i++ {
+			e, _ := fp.DecodeEntry(bucketSlot(oldBucket, i))
+			if e.FP.IsZero() {
+				continue
+			}
+			target := out.BucketOf(e.FP)
+			switch target {
+			case 2 * k:
+				if err := e.Encode(bucketSlot(even, evenUsed)); err != nil {
+					return nil, err
+				}
+				evenUsed++
+			case 2*k + 1:
+				if err := e.Encode(bucketSlot(odd, oddUsed)); err != nil {
+					return nil, err
+				}
+				oddUsed++
+			default:
+				// An entry overflowed here from an adjacent bucket; its
+				// true home is elsewhere in the new index.
+				foreign = append(foreign, e)
+			}
+		}
+		if err := out.writeBucket(2*k, even); err != nil {
+			return nil, err
+		}
+		if err := out.writeBucket(2*k+1, odd); err != nil {
+			return nil, err
+		}
+		out.count += int64(evenUsed + oddUsed)
+	}
+
+	// Re-place the (rare) overflowed entries through the normal path,
+	// without charging random I/O: they travel inside the same sequential
+	// pass in a real implementation.
+	savedDisk := out.disk
+	out.disk = nil
+	for _, e := range foreign {
+		if err := out.Insert(e); err != nil {
+			out.disk = savedDisk
+			return nil, fmt.Errorf("diskindex: re-placing overflowed entry during scale: %w", err)
+		}
+	}
+	out.disk = savedDisk
+	return out, nil
+}
+
+// Partition implements performance scaling (§4.1): it divides the index
+// into 2^w equal parts, where part j holds exactly the fingerprints whose
+// first w bits equal j. Each part is an independent index with n-w bucket
+// bits, suitable for placement on its own backup server. Partitioning is a
+// sequential copy; entries do not move between buckets (old bucket number
+// k = j<<(n-w) | k_part).
+//
+// newStores must supply one Store per part.
+func (ix *Index) Partition(w uint, newStores []Store) ([]*Index, error) {
+	if w == 0 || w >= ix.cfg.BucketBits {
+		return nil, fmt.Errorf("diskindex: partition width %d out of range [1,%d)", w, ix.cfg.BucketBits)
+	}
+	parts := 1 << w
+	if len(newStores) != parts {
+		return nil, fmt.Errorf("diskindex: need %d stores, got %d", parts, len(newStores))
+	}
+	partCfg := Config{
+		BucketBits:   ix.cfg.BucketBits - w,
+		BucketBlocks: ix.cfg.BucketBlocks,
+		PrefixSkip:   ix.cfg.PrefixSkip + w,
+	}
+	out := make([]*Index, parts)
+	for j := range out {
+		p, err := New(newStores[j], partCfg, ix.disk)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = p
+	}
+	if ix.disk != nil {
+		ix.disk.SeqRead(ix.cfg.SizeBytes())
+		ix.disk.SeqWrite(ix.cfg.SizeBytes())
+	}
+
+	nslots := ix.cfg.EntriesPerBucket()
+	buf := make([]byte, ix.cfg.BucketBytes())
+	perPart := partCfg.Buckets()
+	// Entries can have overflowed across what is now a part boundary
+	// (home bucket in part j, stored in the first/last bucket of part
+	// j∓1); those are collected and re-placed into their home part.
+	var foreign []fp.Entry
+	for k := uint64(0); k < ix.cfg.Buckets(); k++ {
+		if err := ix.readBucket(k, buf); err != nil {
+			return nil, err
+		}
+		j := k / perPart
+		used := 0
+		for i := 0; i < nslots; i++ {
+			slot := bucketSlot(buf, i)
+			e, _ := fp.DecodeEntry(slot)
+			if e.FP.IsZero() {
+				continue
+			}
+			if ix.BucketOf(e.FP)/perPart != j {
+				foreign = append(foreign, e)
+				clear(slot)
+				continue
+			}
+			used++
+		}
+		if err := out[j].writeBucket(k%perPart, buf); err != nil {
+			return nil, err
+		}
+		out[j].count += int64(used)
+	}
+	for _, e := range foreign {
+		part := out[ix.BucketOf(e.FP)/perPart]
+		savedDisk := part.disk
+		part.disk = nil
+		err := part.Insert(e)
+		part.disk = savedDisk
+		if err != nil {
+			return nil, fmt.Errorf("diskindex: re-placing boundary entry during partition: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Merge is the inverse of Partition for 2 parts: it concatenates part
+// indexes (in order) back into a single index with one more prefix bit per
+// doubling. It exists to support rebalancing when servers leave.
+func Merge(parts []*Index, newStore Store) (*Index, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("diskindex: merge of zero parts")
+	}
+	n := len(parts)
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("diskindex: merge requires a power-of-two part count, got %d", n)
+	}
+	w := uint(0)
+	for 1<<w < n {
+		w++
+	}
+	base := parts[0].cfg
+	for i, p := range parts {
+		if p.cfg != base {
+			return nil, fmt.Errorf("diskindex: part %d geometry %+v differs from part 0 %+v", i, p.cfg, base)
+		}
+	}
+	if base.PrefixSkip < w {
+		return nil, fmt.Errorf("diskindex: merging %d parts needs prefix skip ≥ %d, have %d", n, w, base.PrefixSkip)
+	}
+	cfg := Config{
+		BucketBits:   base.BucketBits + w,
+		BucketBlocks: base.BucketBlocks,
+		PrefixSkip:   base.PrefixSkip - w,
+	}
+	out, err := New(newStore, cfg, parts[0].disk)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, base.BucketBytes())
+	for j, p := range parts {
+		for k := uint64(0); k < base.Buckets(); k++ {
+			if err := p.readBucket(k, buf); err != nil {
+				return nil, err
+			}
+			if err := out.writeBucket(uint64(j)*base.Buckets()+k, buf); err != nil {
+				return nil, err
+			}
+		}
+		out.count += p.count
+	}
+	if out.disk != nil {
+		out.disk.SeqRead(cfg.SizeBytes())
+		out.disk.SeqWrite(cfg.SizeBytes())
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package diskindex
+
+import "debar/internal/fp"
+
+// DefaultScanBuckets is the default sequential window: how many buckets are
+// read per large sequential I/O during SIL/SIU ("we can sequentially read
+// thousands of buckets per I/O", §5.2).
+const DefaultScanBuckets = 4096
+
+// Window is one in-memory run of consecutive buckets during a sequential
+// scan. Start is the first bucket number; the window holds Count buckets.
+type Window struct {
+	ix    *Index
+	Start uint64
+	Count int
+	buf   []byte
+}
+
+// Bucket returns the raw image of bucket k (which must lie in the window).
+func (w *Window) Bucket(k uint64) []byte {
+	off := (k - w.Start) * uint64(w.ix.cfg.BucketBytes())
+	return w.buf[off : off+uint64(w.ix.cfg.BucketBytes())]
+}
+
+// Contains reports whether bucket k lies in this window.
+func (w *Window) Contains(k uint64) bool {
+	return k >= w.Start && k < w.Start+uint64(w.Count)
+}
+
+// ForEachEntry visits the stored entries of every bucket in the window.
+func (w *Window) ForEachEntry(fn func(bucket uint64, e fp.Entry)) {
+	nslots := w.ix.cfg.EntriesPerBucket()
+	for k := w.Start; k < w.Start+uint64(w.Count); k++ {
+		b := w.Bucket(k)
+		for i := 0; i < nslots; i++ {
+			e, _ := fp.DecodeEntry(bucketSlot(b, i))
+			if !e.FP.IsZero() {
+				fn(k, e)
+			}
+		}
+	}
+}
+
+// InsertInWindow places e into its target bucket if that bucket lies in the
+// window, overflowing to in-window neighbours as in Insert. It returns
+// ErrIndexFull if the home bucket and both (in-window) neighbours are full.
+// If the fingerprint is already present (duplicate storing under
+// asynchronous updates, §5.4) the existing mapping is kept and the insert
+// is a no-op. This is the write primitive of SIU: all mutations happen on
+// the in-memory window and reach disk in one sequential write.
+func (w *Window) InsertInWindow(e fp.Entry) error {
+	k := w.ix.BucketOf(e.FP)
+	nslots := w.ix.cfg.EntriesPerBucket()
+	try := func(b uint64) bool {
+		if !w.Contains(b) {
+			return false
+		}
+		img := w.Bucket(b)
+		_, _, found, free := scanBucket(img, e.FP, nslots)
+		if found {
+			return true // already mapped; keep the existing entry
+		}
+		if free < 0 {
+			return false
+		}
+		if err := e.Encode(bucketSlot(img, free)); err != nil {
+			return false
+		}
+		w.ix.count++
+		return true
+	}
+	if try(k) {
+		return nil
+	}
+	for _, b := range w.ix.neighbours(k, e.FP) {
+		if try(b) {
+			return nil
+		}
+	}
+	return ErrIndexFull
+}
+
+// Scan sequentially reads the whole index in windows of up to scanBuckets
+// buckets, invoking fn on each read-only window. It charges one large
+// sequential read covering the index. This is the I/O engine of SIL (§5.2).
+func (ix *Index) Scan(scanBuckets int, fn func(*Window) error) error {
+	if scanBuckets <= 0 {
+		scanBuckets = DefaultScanBuckets
+	}
+	return ix.scan(scanBuckets, false, fn)
+}
+
+// Update sequentially reads the index in windows, lets fn mutate each
+// window in memory, and writes each window back. It charges a sequential
+// read plus a sequential write covering the index: the I/O engine of SIU
+// (§5.4).
+func (ix *Index) Update(scanBuckets int, fn func(*Window) error) error {
+	if scanBuckets <= 0 {
+		scanBuckets = DefaultScanBuckets
+	}
+	return ix.scan(scanBuckets, true, fn)
+}
+
+func (ix *Index) scan(scanBuckets int, write bool, fn func(*Window) error) error {
+	total := ix.cfg.Buckets()
+	bb := ix.cfg.BucketBytes()
+	buf := make([]byte, scanBuckets*bb)
+	for start := uint64(0); start < total; start += uint64(scanBuckets) {
+		count := scanBuckets
+		if rem := total - start; rem < uint64(count) {
+			count = int(rem)
+		}
+		chunk := buf[:count*bb]
+		if err := ix.store.ReadAt(chunk, ix.bucketOff(start)); err != nil {
+			return err
+		}
+		if ix.disk != nil {
+			ix.disk.SeqRead(int64(len(chunk)))
+		}
+		w := &Window{ix: ix, Start: start, Count: count, buf: chunk}
+		if err := fn(w); err != nil {
+			return err
+		}
+		if write {
+			if err := ix.store.WriteAt(chunk, ix.bucketOff(start)); err != nil {
+				return err
+			}
+			if ix.disk != nil {
+				ix.disk.SeqWrite(int64(len(chunk)))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package diskindex
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MemStore is a memory-backed Store for tests and experiments.
+type MemStore struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+// NewMemStore returns a MemStore pre-sized to size bytes.
+func NewMemStore(size int64) *MemStore {
+	return &MemStore{buf: make([]byte, size)}
+}
+
+// ReadAt copies len(p) bytes at off into p.
+func (m *MemStore) ReadAt(p []byte, off int64) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.buf)) {
+		return fmt.Errorf("memstore: read [%d,%d) out of bounds (size %d)", off, off+int64(len(p)), len(m.buf))
+	}
+	copy(p, m.buf[off:])
+	return nil
+}
+
+// WriteAt copies p into the store at off.
+func (m *MemStore) WriteAt(p []byte, off int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off < 0 || off+int64(len(p)) > int64(len(m.buf)) {
+		return fmt.Errorf("memstore: write [%d,%d) out of bounds (size %d)", off, off+int64(len(p)), len(m.buf))
+	}
+	copy(m.buf[off:], p)
+	return nil
+}
+
+// Size returns the store size in bytes.
+func (m *MemStore) Size() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return int64(len(m.buf))
+}
+
+// Truncate resizes the store, zero-filling any extension.
+func (m *MemStore) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("memstore: negative size %d", size)
+	}
+	if int64(len(m.buf)) >= size {
+		m.buf = m.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, m.buf)
+	m.buf = grown
+	return nil
+}
+
+// FileStore is a file-backed Store used by the daemon binaries.
+type FileStore struct {
+	f *os.File
+}
+
+// OpenFileStore opens (creating if needed) the index file at path.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("filestore: %w", err)
+	}
+	return &FileStore{f: f}, nil
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(p []byte, off int64) error {
+	_, err := s.f.ReadAt(p, off)
+	return err
+}
+
+// WriteAt implements Store.
+func (s *FileStore) WriteAt(p []byte, off int64) error {
+	_, err := s.f.WriteAt(p, off)
+	return err
+}
+
+// Size returns the current file size.
+func (s *FileStore) Size() int64 {
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Truncate resizes the file.
+func (s *FileStore) Truncate(size int64) error { return s.f.Truncate(size) }
+
+// Close closes the underlying file.
+func (s *FileStore) Close() error { return s.f.Close() }

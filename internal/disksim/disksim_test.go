@@ -1,0 +1,130 @@
+package disksim
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeqReadCalibration(t *testing.T) {
+	// Paper §6.1.3: SIL over a 512 GB index takes 38.98 minutes; over
+	// 32 GB, 2.53 minutes. Our model must land within 5%.
+	m := DefaultRAID()
+	const GB = 1 << 30
+	got512 := m.SeqRead(512 * GB).Minutes()
+	if math.Abs(got512-38.98)/38.98 > 0.06 {
+		t.Errorf("SIL(512GB) = %.2f min, paper 38.98", got512)
+	}
+	got32 := m.SeqRead(32 * GB).Minutes()
+	if math.Abs(got32-2.53)/2.53 > 0.06 {
+		t.Errorf("SIL(32GB) = %.2f min, paper 2.53", got32)
+	}
+}
+
+func TestSIUCalibration(t *testing.T) {
+	// SIU = sequential read + sequential write of the whole index.
+	// Paper: 6.16 min at 32 GB, 97.07 min at 512 GB.
+	m := DefaultRAID()
+	const GB = 1 << 30
+	siu := func(s int64) float64 {
+		return (m.SeqRead(s) + m.SeqWrite(s)).Minutes()
+	}
+	if got := siu(32 * GB); math.Abs(got-6.16)/6.16 > 0.06 {
+		t.Errorf("SIU(32GB) = %.2f min, paper 6.16", got)
+	}
+	if got := siu(512 * GB); math.Abs(got-97.07)/97.07 > 0.06 {
+		t.Errorf("SIU(512GB) = %.2f min, paper 97.07", got)
+	}
+}
+
+func TestRandomRates(t *testing.T) {
+	// Paper §6.1.3: random lookup ≈ 522 fps, random update ≈ 270 fps.
+	m := DefaultRAID()
+	if r := 1 / m.RandRead().Seconds(); math.Abs(r-522) > 5 {
+		t.Errorf("random lookup rate = %.0f/s, paper 522", r)
+	}
+	if r := 1 / m.RandWrite().Seconds(); math.Abs(r-270) > 5 {
+		t.Errorf("random update rate = %.0f/s, paper 270", r)
+	}
+}
+
+func TestClockAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(2 * time.Second)
+	if c.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatalf("Reset did not zero the clock")
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	new(Clock).Advance(-time.Second)
+}
+
+func TestClockConcurrent(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8*1000*time.Microsecond {
+		t.Fatalf("concurrent Advance lost updates: %v", c.Now())
+	}
+}
+
+func TestDiskChargesClock(t *testing.T) {
+	d := NewDisk(DefaultRAID())
+	t1 := d.SeqRead(224 * 1e6) // exactly one second of reading
+	if math.Abs(t1.Seconds()-1) > 0.01 {
+		t.Fatalf("SeqRead(224MB) = %v, want ~1s", t1)
+	}
+	d.RandRead(522)
+	total := d.Clock.Now().Seconds()
+	if math.Abs(total-2) > 0.02 {
+		t.Fatalf("clock = %.3fs, want ~2s", total)
+	}
+}
+
+func TestLinkTransfer(t *testing.T) {
+	l := NewLink(DefaultNIC())
+	d := l.Transfer(210*1e6, 0)
+	if math.Abs(d.Seconds()-1) > 0.01 {
+		t.Fatalf("Transfer(210MB) = %v, want ~1s", d)
+	}
+	lat := l.Transfer(0, 1000)
+	if lat != 1000*100*time.Microsecond {
+		t.Fatalf("message latency = %v", lat)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100*1e6, time.Second); math.Abs(got-100) > 0.001 {
+		t.Fatalf("Throughput = %v, want 100", got)
+	}
+	if Throughput(1, 0) != 0 {
+		t.Fatal("zero-duration throughput should be 0")
+	}
+	if got := Rate(1000, 2*time.Second); got != 500 {
+		t.Fatalf("Rate = %v, want 500", got)
+	}
+	if Rate(5, 0) != 0 {
+		t.Fatal("zero-duration rate should be 0")
+	}
+}

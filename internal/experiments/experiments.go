@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4.2, §6). Each experiment runs the real DEBAR/DDFS code at
+// a reduced scale S — with every size (daily volume, disk index, caches,
+// Bloom filter, write buffer) divided by S — while the disk and network
+// cost models stay at the paper's calibrated rates. Because both the byte
+// volumes and the dominant I/O times scale linearly in S, the reported
+// throughputs (bytes/time) are scale-invariant and comparable with the
+// paper's MB/s figures directly (DESIGN.md §1.3).
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"debar/internal/diskindex"
+	"debar/internal/disksim"
+)
+
+// Scale is the reduction factor S applied to all paper-scale sizes.
+type Scale int64
+
+// DefaultScale keeps the month experiment under a few seconds of CPU.
+const DefaultScale Scale = 128
+
+// Bytes scales a paper-scale byte size down.
+func (s Scale) Bytes(paper int64) int64 {
+	v := paper / int64(s)
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Chunks converts a paper-scale byte volume into scaled 8 KB chunks.
+func (s Scale) Chunks(paperBytes int64) int {
+	c := paperBytes / ChunkSize / int64(s)
+	if c < 1 {
+		return 1
+	}
+	return int(c)
+}
+
+// PaperTime scales a measured (scaled) duration back up to paper scale.
+func (s Scale) PaperTime(d time.Duration) time.Duration {
+	return time.Duration(int64(d) * int64(s))
+}
+
+// ChunkSize is the paper's expected chunk size (8 KB).
+const ChunkSize = 8 * 1024
+
+const (
+	gb = int64(1) << 30
+	tb = int64(1) << 40
+)
+
+// indexBitsFor returns the bucket-bit count for a paper-scale index size
+// reduced by S, with the paper's 512-byte buckets (§5.2 geometry: a 32 GB
+// index has 2^26 buckets).
+func indexBitsFor(paperBytes int64, s Scale) uint {
+	scaled := paperBytes / int64(s)
+	bits := uint(math.Round(math.Log2(float64(scaled) / float64(diskindex.BlockSize))))
+	if bits < 8 {
+		bits = 8
+	}
+	return bits
+}
+
+// indexConfigFor builds the index geometry for a paper-scale size.
+func indexConfigFor(paperBytes int64, s Scale) diskindex.Config {
+	return diskindex.Config{BucketBits: indexBitsFor(paperBytes, s), BucketBlocks: 1}
+}
+
+// mbps formats a throughput in the paper's MB/s.
+func mbps(bytes int64, d time.Duration) float64 { return disksim.Throughput(bytes, d) }
+
+// ratio guards divisions by zero.
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// fmtDur prints a duration in minutes with two decimals, the paper's unit
+// for SIL/SIU overheads.
+func fmtDur(d time.Duration) string { return fmt.Sprintf("%.2f min", d.Minutes()) }

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"debar/internal/bloom"
+	"debar/internal/diskindex"
+	"debar/internal/disksim"
+	"debar/internal/fp"
+	"debar/internal/indexcache"
+	"debar/internal/tpds"
+)
+
+// SweepConfig parameterises the SIL/SIU index sweep (§6.1.3, Figures 10
+// and 11): vary the disk index size and the in-memory index cache and
+// measure the time overhead and per-fingerprint efficiency of SIL and
+// SIU, against random lookup/update.
+type SweepConfig struct {
+	Scale       Scale
+	IndexSizes  []int64 // paper-scale bytes (32..512 GB)
+	CacheSizes  []int64 // paper-scale bytes (1..3 GB)
+	Utilization float64 // index pre-fill before measuring (0.5 default)
+	Seed        int64
+}
+
+// DefaultSweepConfig mirrors Figures 10–11. The pre-fill utilisation must
+// respect the 512-byte-bucket fill ceiling (Table 2: b=20 fills to ≈41%
+// before three adjacent buckets collide), so 0.35 is the safe default —
+// SIL/SIU times are utilisation-independent anyway (η = f·r/s).
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Scale:       DefaultScale,
+		IndexSizes:  []int64{32 * gb, 64 * gb, 128 * gb, 256 * gb, 512 * gb},
+		CacheSizes:  []int64{1 * gb, 2 * gb, 3 * gb},
+		Utilization: 0.35,
+		Seed:        7,
+	}
+}
+
+// SweepPoint is one (index size, cache size) measurement.
+type SweepPoint struct {
+	IndexBytes   int64         // paper scale
+	CacheBytes   int64         // paper scale
+	Fingerprints int64         // fingerprints processed per pass (scaled)
+	SILTime      time.Duration // paper scale
+	SIUTime      time.Duration // paper scale
+	SILSpeed     float64       // fingerprints/second (scale-invariant)
+	SIUSpeed     float64
+}
+
+// SweepResult aggregates Figures 10 and 11.
+type SweepResult struct {
+	Cfg          SweepConfig
+	Points       []SweepPoint
+	RandomLookup float64 // fingerprints/second via random index I/O
+	RandomUpdate float64
+}
+
+// RunSweep measures SIL/SIU times and efficiencies. The real SIL/SIU code
+// runs over a pre-filled scaled index; times are reported at paper scale
+// (measured × S), speeds are scale-invariant (both f and s shrink by S).
+func RunSweep(cfg SweepConfig) (*SweepResult, error) {
+	s := cfg.Scale
+	if s <= 0 {
+		s = DefaultScale
+	}
+	if cfg.Utilization <= 0 || cfg.Utilization >= 1 {
+		cfg.Utilization = 0.35
+	}
+	res := &SweepResult{Cfg: cfg}
+	model := disksim.DefaultRAID()
+	res.RandomLookup = 1 / model.RandRead().Seconds()
+	res.RandomUpdate = 1 / model.RandWrite().Seconds()
+
+	gen := fp.NewGenerator(1<<40, 0) // distinct from pre-fill space
+
+	for _, ixBytes := range cfg.IndexSizes {
+		disk := disksim.NewDisk(model)
+		ix, err := diskindex.New(diskindex.NewMemStore(0), indexConfigFor(ixBytes, s), disk)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-fill to the target utilisation through SIU (fast, sequential).
+		fill := int64(float64(ix.Config().Capacity()) * cfg.Utilization)
+		pre := make([]fp.Entry, 0, fill)
+		preGen := fp.NewGenerator(0, 0)
+		for i := int64(0); i < fill; i++ {
+			pre = append(pre, fp.Entry{FP: preGen.Next(), CID: 1})
+		}
+		if err := tpds.SIU(ix, pre, 0); err != nil {
+			return nil, err
+		}
+
+		for _, cacheBytes := range cfg.CacheSizes {
+			f := indexcache.EntriesForBytes(cacheBytes / int64(s))
+			// SIL over f undetermined fingerprints (half duplicates of
+			// the pre-fill, half new — the mix does not affect time).
+			cache := indexcache.New(14, 0)
+			for i := int64(0); i < f; i++ {
+				var x fp.FP
+				if i%2 == 0 && i/2 < fill {
+					x = pre[i/2].FP
+				} else {
+					x = gen.Next()
+				}
+				cache.Insert(x)
+			}
+			inCache := int64(cache.Len())
+
+			disk.Clock.Reset()
+			if _, err := tpds.SIL(ix, cache, 0); err != nil {
+				return nil, err
+			}
+			silTime := disk.Clock.Now()
+
+			// SIU of the survivors (the new half).
+			var entries []fp.Entry
+			for _, e := range cache.Collect() {
+				entries = append(entries, fp.Entry{FP: e.FP, CID: 2})
+			}
+			disk.Clock.Reset()
+			if err := tpds.SIU(ix, entries, 0); err != nil {
+				return nil, err
+			}
+			siuTime := disk.Clock.Now()
+
+			res.Points = append(res.Points, SweepPoint{
+				IndexBytes:   ixBytes,
+				CacheBytes:   cacheBytes,
+				Fingerprints: inCache,
+				SILTime:      s.PaperTime(silTime),
+				SIUTime:      s.PaperTime(siuTime),
+				// Speeds at paper scale: f×S fingerprints in time×S.
+				SILSpeed: disksim.Rate(inCache, silTime),
+				SIUSpeed: disksim.Rate(inCache, siuTime),
+			})
+
+			// Remove the inserted survivors so the next cache size sees
+			// the same utilisation (re-prepare by rebuilding is costlier;
+			// the added fraction is ≤3 GB/32 GB ≈ tolerable drift, so we
+			// accept it and note utilisation grows slightly).
+		}
+	}
+	return res, nil
+}
+
+// FormatFig10 renders SIL/SIU time overheads (paper Figure 10, 1 GB cache
+// column).
+func (r *SweepResult) FormatFig10() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: time overheads of SIL and SIU (paper scale, 1GB cache)\n")
+	fmt.Fprintf(&b, "%12s %12s %12s\n", "index(GB)", "SIL", "SIU")
+	for _, p := range r.Points {
+		if p.CacheBytes != 1*gb {
+			continue
+		}
+		fmt.Fprintf(&b, "%12d %12s %12s\n", p.IndexBytes/gb, fmtDur(p.SILTime), fmtDur(p.SIUTime))
+	}
+	fmt.Fprintf(&b, "paper: 32GB → 2.53/6.16 min; 512GB → 38.98/97.07 min\n")
+	return b.String()
+}
+
+// FormatFig11 renders lookup/update efficiencies (paper Figure 11).
+func (r *SweepResult) FormatFig11() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 11: efficiencies of disk index lookup and update (fingerprints/s)\n")
+	fmt.Fprintf(&b, "%12s", "index(GB)")
+	for _, c := range r.Cfg.CacheSizes {
+		fmt.Fprintf(&b, " %10s %10s", fmt.Sprintf("SIL-%dGB", c/gb), fmt.Sprintf("SIU-%dGB", c/gb))
+	}
+	fmt.Fprintf(&b, " %10s %10s\n", "rand-look", "rand-upd")
+	for _, ixBytes := range r.Cfg.IndexSizes {
+		fmt.Fprintf(&b, "%12d", ixBytes/gb)
+		for _, c := range r.Cfg.CacheSizes {
+			for _, p := range r.Points {
+				if p.IndexBytes == ixBytes && p.CacheBytes == c {
+					fmt.Fprintf(&b, " %10.0f %10.0f", p.SILSpeed, p.SIUSpeed)
+				}
+			}
+		}
+		fmt.Fprintf(&b, " %10.0f %10.0f\n", r.RandomLookup, r.RandomUpdate)
+	}
+	fmt.Fprintf(&b, "paper: 32GB/3GB cache → SIL 917k, SIU 376k fps/s; 512GB/1GB → 19.66k/7.884k; random 522/270\n")
+	return b.String()
+}
+
+// CapacityPoint is one capacity point of Figure 12.
+type CapacityPoint struct {
+	CapacityTB int64
+	IndexBytes int64
+	DebarTotal float64 // MB/s
+	DebarD2    float64 // MB/s
+	DDFS       float64 // MB/s
+}
+
+// CapacityResult is Figure 12.
+type CapacityResult struct {
+	Points []CapacityPoint
+}
+
+// RunCapacity derives Figure 12 the way the paper does (§6.1.3): combine
+// the one-month workload measurements with the SIL/SIU overheads at each
+// index size, and model DDFS's degradation from its Bloom filter's false
+// positive rate as stored data outgrows the 1 GB summary vector.
+func RunCapacity(month *MonthResult, sweep *SweepResult) (*CapacityResult, error) {
+	if month == nil || sweep == nil {
+		return nil, fmt.Errorf("experiments: capacity needs month and sweep results")
+	}
+	caps := []int64{8, 16, 32, 64, 128} // TB
+	out := &CapacityResult{}
+
+	// Month aggregates (scaled bytes and times).
+	var logical, logged, stored int64
+	var d1Time, storeTime time.Duration
+	var silRuns, siuRuns int
+	for _, d := range month.Days {
+		logical += d.LogicalBytes
+		logged += d.LoggedBytes
+		stored += d.StoredBytes
+		d1Time += d.Dedup1Time
+		if d.Dedup2Ran {
+			silRuns++
+		}
+		if d.SIURan {
+			siuRuns++
+		}
+	}
+	// Chunk storing time: the log is read once per dedup-2 at 224 MB/s.
+	model := disksim.DefaultRAID()
+	storeTime = model.SeqRead(logged)
+
+	s := month.Cfg.Scale
+	for i, capTB := range caps {
+		ixBytes := sweep.Cfg.IndexSizes[i%len(sweep.Cfg.IndexSizes)]
+		// SIL/SIU scaled times at this index size (1 GB cache points).
+		var sil, siu time.Duration
+		for _, p := range sweep.Points {
+			if p.IndexBytes == ixBytes && p.CacheBytes == 1*gb {
+				sil = time.Duration(int64(p.SILTime) / int64(s))
+				siu = time.Duration(int64(p.SIUTime) / int64(s))
+			}
+		}
+		d2Time := storeTime + time.Duration(silRuns)*sil + time.Duration(siuRuns)*siu
+		pt := CapacityPoint{
+			CapacityTB: capTB,
+			IndexBytes: ixBytes,
+			DebarTotal: mbps(logical, d1Time+d2Time),
+			DebarD2:    mbps(logged, d2Time),
+		}
+
+		// DDFS: same network time; random I/O grows with the Bloom
+		// filter's false positive rate at this capacity (m/n shrinks as
+		// stored fingerprints grow; the 1 GB filter cannot be enlarged).
+		mBits := uint64(8) << 30 // 1 GB in bits
+		storedFPs := capTB * tb / ChunkSize
+		// At 8 TB this is 2^30 fingerprints → m/n = 8 → FPR ≈ 2.4%; at
+		// 16 TB m/n = 4 → ≈14.6% (§6.1.3), and onward it saturates.
+		fpr := bloom.TheoreticalFPR(storedFPs, mBits, 4)
+		newChunks := stored / ChunkSize
+		dupChunks := (logical - stored) / ChunkSize
+		lookups := float64(newChunks)*fpr + float64(dupChunks)*month.DDFSLPCMissRate
+		randTime := time.Duration(lookups * float64(model.RandRead()))
+		netTime := time.Duration(float64(logical) / disksim.DefaultNIC().Rate * float64(time.Second))
+		flushTime := model.SeqRead(ixBytes/int64(s)) + model.SeqWrite(ixBytes/int64(s))
+		pt.DDFS = mbps(logical, netTime+randTime+2*flushTime)
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// Format renders Figure 12.
+func (r *CapacityResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 12: throughput under different system capacities (MB/s)\n")
+	fmt.Fprintf(&b, "%12s %12s %12s %12s %12s\n", "capacity(TB)", "index(GB)", "DEBAR-total", "DEBAR-d2", "DDFS")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%12d %12d %12.1f %12.1f %12.1f\n",
+			p.CapacityTB, p.IndexBytes/gb, p.DebarTotal, p.DebarD2, p.DDFS)
+	}
+	fmt.Fprintf(&b, "paper: DEBAR ≈214 MB/s at 64TB (512GB index); DDFS collapses past 8TB (<28%% of original)\n")
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"debar/internal/overflow"
+)
+
+// FormatTable1 renders the Pr(D) upper bounds (paper Table 1).
+func FormatTable1() string {
+	rows := overflow.Table1(512 << 30)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: calculated upper bound of Pr(D), 512GB disk index\n")
+	fmt.Fprintf(&b, "%12s %6s %4s %8s %12s\n", "bucket(KB)", "b", "n", "eta", "Pr(D) <")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12g %6d %4d %7.0f%% %12.3g\n", r.BucketKB, r.B, r.N, r.Eta*100, r.Bound)
+	}
+	b.WriteString("paper bounds: 1.71/1.02/1.24/1.59/1.91/1.93/2.16/2.08 % — our log-space\n")
+	b.WriteString("evaluation of formula (1) is tighter (a valid upper bound below theirs);\n")
+	b.WriteString("the design conclusion (≤≈2% at the chosen η) holds identically.\n")
+	return b.String()
+}
+
+// FormatTable2 renders the counter-array simulation (paper Table 2),
+// running at 1/2^scaleShift of the paper's 512 GB index with analytic
+// extrapolation to the paper's geometry.
+func FormatTable2(scaleShift uint, runs int, seed int64) (string, error) {
+	rows, err := overflow.Table2(scaleShift, runs, seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: disk index fill simulation (%d runs/row, index scaled 2^-%d)\n", runs, scaleShift)
+	fmt.Fprintf(&b, "%10s %6s %9s %9s %9s %9s %6s %4s %12s %10s\n",
+		"bucket(KB)", "b", "eta(min)", "eta(max)", "eta(avg)", "rho", "n3", "n4", "eta@paper-n", "paper")
+	paper := []float64{0.4145, 0.5679, 0.6804, 0.7758, 0.8423, 0.8825, 0.9214, 0.9443}
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%10g %6d %8.2f%% %8.2f%% %8.2f%% %8.3f%% %6d %4d %11.2f%% %9.2f%%\n",
+			r.BucketKB, r.B, r.EtaMin*100, r.EtaMax*100, r.EtaAvg*100, r.RhoAvg*100,
+			r.N3, r.N4, r.PredictedPaperEta*100, paper[i]*100)
+	}
+	b.WriteString("eta@paper-n extrapolates the measured fill to the paper's 512GB geometry\n")
+	b.WriteString("via the formula-(1) hazard; the paper column is Table 2's eta(avg).\n")
+	return b.String(), nil
+}

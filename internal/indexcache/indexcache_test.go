@@ -1,0 +1,192 @@
+package indexcache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"debar/internal/fp"
+)
+
+func TestInsertLookupRemove(t *testing.T) {
+	c := New(8, 0)
+	f := fp.FromUint64(1)
+	ok, err := c.Insert(f)
+	if err != nil || !ok {
+		t.Fatalf("Insert = %v,%v", ok, err)
+	}
+	if ok, _ := c.Insert(f); ok {
+		t.Fatal("duplicate Insert reported new")
+	}
+	n, found := c.Lookup(f)
+	if !found || n.CID != fp.NilContainer {
+		t.Fatalf("Lookup = %+v,%v", n, found)
+	}
+	if !c.Remove(f) {
+		t.Fatal("Remove failed")
+	}
+	if c.Contains(f) {
+		t.Fatal("Contains after Remove")
+	}
+	if c.Remove(f) {
+		t.Fatal("double Remove succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	c := New(4, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Insert(fp.FromUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Full() {
+		t.Fatal("cache should be full")
+	}
+	if _, err := c.Insert(fp.FromUint64(99)); err != ErrFull {
+		t.Fatalf("over-capacity Insert err = %v, want ErrFull", err)
+	}
+	// Re-inserting an existing fingerprint is not an error.
+	if _, err := c.Insert(fp.FromUint64(1)); err != nil {
+		t.Fatalf("existing Insert at capacity err = %v", err)
+	}
+}
+
+func TestSetCID(t *testing.T) {
+	c := New(8, 0)
+	f := fp.FromUint64(5)
+	c.Insert(f)
+	if !c.SetCID(f, 42) {
+		t.Fatal("SetCID on present fingerprint failed")
+	}
+	n, _ := c.Lookup(f)
+	if n.CID != 42 {
+		t.Fatalf("CID = %v, want 42", n.CID)
+	}
+	if c.SetCID(fp.FromUint64(999), 1) {
+		t.Fatal("SetCID on absent fingerprint succeeded")
+	}
+}
+
+func TestBucketNumberOrdering(t *testing.T) {
+	// Nodes must come out grouped by cache bucket in ascending order: the
+	// property that maps cache buckets onto consecutive disk-index bucket
+	// ranges (§5.2).
+	c := New(6, 0)
+	for i := 0; i < 2000; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+	last := uint64(0)
+	c.ForEach(func(n Node) bool {
+		b := c.BucketOf(n.FP)
+		if b < last {
+			t.Fatalf("bucket order violated: %d after %d", b, last)
+		}
+		last = b
+		return true
+	})
+	entries := c.Collect()
+	if len(entries) != 2000 {
+		t.Fatalf("Collect returned %d, want 2000", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i].FP.Prefix(6) < entries[i-1].FP.Prefix(6) {
+			t.Fatal("Collect not in bucket order")
+		}
+	}
+}
+
+func TestForEachInBucket(t *testing.T) {
+	c := New(4, 0)
+	for i := 0; i < 500; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+	total := 0
+	for k := uint64(0); k < 16; k++ {
+		c.ForEachInBucket(k, func(n Node) bool {
+			if c.BucketOf(n.FP) != k {
+				t.Fatalf("node with bucket %d in bucket %d", c.BucketOf(n.FP), k)
+			}
+			total++
+			return true
+		})
+	}
+	if total != 500 {
+		t.Fatalf("visited %d, want 500", total)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	c := New(4, 0)
+	for i := 0; i < 100; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+	seen := 0
+	c.ForEach(func(Node) bool { seen++; return seen < 10 })
+	if seen != 10 {
+		t.Fatalf("early stop visited %d, want 10", seen)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(4, 0)
+	for i := 0; i < 100; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if c.Contains(fp.FromUint64(1)) {
+		t.Fatal("Contains after Reset")
+	}
+}
+
+func TestEntriesForBytes(t *testing.T) {
+	// 1 GB should hold ~44M fingerprints (paper §5.2).
+	got := EntriesForBytes(1 << 30)
+	if got < 40e6 || got > 50e6 {
+		t.Fatalf("EntriesForBytes(1GB) = %d, want ≈44M", got)
+	}
+}
+
+func TestInsertRemoveQuick(t *testing.T) {
+	c := New(8, 0)
+	ref := map[fp.FP]bool{}
+	err := quick.Check(func(seed uint64, del bool) bool {
+		f := fp.FromUint64(seed % 512)
+		if del {
+			want := ref[f]
+			delete(ref, f)
+			return c.Remove(f) == want
+		}
+		want := !ref[f]
+		ref[f] = true
+		ok, err := c.Insert(f)
+		return err == nil && ok == want && c.Len() == len(ref)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	c := New(20, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(16, 0)
+	for i := 0; i < 1<<16; i++ {
+		c.Insert(fp.FromUint64(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(fp.FromUint64(uint64(i % (1 << 16))))
+	}
+}

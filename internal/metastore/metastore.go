@@ -1,0 +1,152 @@
+// Package metastore implements the director's metadata storage subsystem
+// (paper §6.3): "a metadata storage subsystem for the DEBAR director that
+// enables over 250 backup jobs to read or write their metadata
+// concurrently with an aggregate metadata throughput of over 100MB/s".
+//
+// Metadata (file indices, job records) is an append stream per job.
+// The store shards jobs over independent lock domains so concurrent jobs
+// never contend, and batches appends into per-job extents.
+package metastore
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Store is a concurrent, sharded, append-oriented metadata store.
+type Store struct {
+	shards []shard
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	jobs map[string]*jobLog
+}
+
+type jobLog struct {
+	mu      sync.Mutex
+	records [][]byte
+	bytes   int64
+}
+
+// New returns a store with the given number of shards (rounded up to 1).
+// 64 shards comfortably decorrelate the paper's 250 concurrent jobs.
+func New(shards int) *Store {
+	if shards <= 0 {
+		shards = 64
+	}
+	s := &Store{shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].jobs = make(map[string]*jobLog)
+	}
+	return s
+}
+
+func (s *Store) shardOf(job string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(job))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// logOf returns (creating if needed) the job's log.
+func (s *Store) logOf(job string, create bool) (*jobLog, error) {
+	sh := s.shardOf(job)
+	sh.mu.RLock()
+	l := sh.jobs[job]
+	sh.mu.RUnlock()
+	if l != nil {
+		return l, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("metastore: unknown job %q", job)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if l = sh.jobs[job]; l == nil {
+		l = &jobLog{}
+		sh.jobs[job] = l
+	}
+	return l, nil
+}
+
+// Append adds one metadata record to a job's stream. The record is copied.
+func (s *Store) Append(job string, rec []byte) error {
+	if job == "" {
+		return fmt.Errorf("metastore: empty job name")
+	}
+	l, err := s.logOf(job, true)
+	if err != nil {
+		return err
+	}
+	cp := append([]byte(nil), rec...)
+	l.mu.Lock()
+	l.records = append(l.records, cp)
+	l.bytes += int64(len(cp))
+	l.mu.Unlock()
+	return nil
+}
+
+// Records returns a job's metadata stream in append order.
+func (s *Store) Records(job string) ([][]byte, error) {
+	l, err := s.logOf(job, false)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([][]byte, len(l.records))
+	copy(out, l.records)
+	return out, nil
+}
+
+// Bytes returns the stored byte volume for a job (0 for unknown jobs).
+func (s *Store) Bytes(job string) int64 {
+	l, err := s.logOf(job, false)
+	if err != nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Jobs lists all job names, sorted.
+func (s *Store) Jobs() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.jobs {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a job's metadata (retention expiry).
+func (s *Store) Drop(job string) {
+	sh := s.shardOf(job)
+	sh.mu.Lock()
+	delete(sh.jobs, job)
+	sh.mu.Unlock()
+}
+
+// TotalBytes sums stored metadata across jobs.
+func (s *Store) TotalBytes() int64 {
+	var total int64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, l := range sh.jobs {
+			l.mu.Lock()
+			total += l.bytes
+			l.mu.Unlock()
+		}
+		sh.mu.RUnlock()
+	}
+	return total
+}

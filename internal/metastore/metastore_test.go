@@ -1,0 +1,153 @@
+package metastore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendRecords(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10; i++ {
+		if err := s.Append("job1", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs, err := s.Records("job1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for i, r := range recs {
+		if !bytes.Equal(r, []byte{byte(i)}) {
+			t.Fatalf("record %d out of order", i)
+		}
+	}
+	if s.Bytes("job1") != 10 {
+		t.Fatalf("bytes = %d", s.Bytes("job1"))
+	}
+}
+
+func TestAppendCopiesRecord(t *testing.T) {
+	s := New(1)
+	buf := []byte("mutable")
+	_ = s.Append("j", buf)
+	buf[0] = 'X'
+	recs, _ := s.Records("j")
+	if string(recs[0]) != "mutable" {
+		t.Fatal("record aliased caller buffer")
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	s := New(4)
+	if _, err := s.Records("nope"); err == nil {
+		t.Fatal("unknown job read succeeded")
+	}
+	if s.Bytes("nope") != 0 {
+		t.Fatal("unknown job has bytes")
+	}
+	if err := s.Append("", nil); err == nil {
+		t.Fatal("empty job name accepted")
+	}
+}
+
+func TestJobsAndDrop(t *testing.T) {
+	s := New(4)
+	_ = s.Append("b", []byte("1"))
+	_ = s.Append("a", []byte("2"))
+	jobs := s.Jobs()
+	if len(jobs) != 2 || jobs[0] != "a" || jobs[1] != "b" {
+		t.Fatalf("jobs = %v", jobs)
+	}
+	s.Drop("a")
+	if len(s.Jobs()) != 1 {
+		t.Fatal("drop did not remove the job")
+	}
+	if s.TotalBytes() != 1 {
+		t.Fatalf("total = %d", s.TotalBytes())
+	}
+}
+
+func TestConcurrent250Jobs(t *testing.T) {
+	// The §6.3 claim: >250 jobs appending concurrently at an aggregate
+	// >100 MB/s. Run 256 goroutines, one per job, and check integrity
+	// and the throughput floor (generous on CI hardware).
+	s := New(64)
+	const jobs = 256
+	const recsPerJob = 64
+	rec := make([]byte, 8192)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			name := fmt.Sprintf("job-%03d", j)
+			for i := 0; i < recsPerJob; i++ {
+				if err := s.Append(name, rec); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(j)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := s.TotalBytes()
+	want := int64(jobs * recsPerJob * len(rec))
+	if total != want {
+		t.Fatalf("total bytes %d, want %d (lost appends)", total, want)
+	}
+	mbps := float64(total) / elapsed.Seconds() / 1e6
+	if mbps < 100 {
+		t.Fatalf("aggregate metadata throughput %.1f MB/s < 100 (paper §6.3)", mbps)
+	}
+	for j := 0; j < jobs; j++ {
+		recs, err := s.Records(fmt.Sprintf("job-%03d", j))
+		if err != nil || len(recs) != recsPerJob {
+			t.Fatalf("job %d: %d records, err %v", j, len(recs), err)
+		}
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := New(16)
+	var wg sync.WaitGroup
+	for j := 0; j < 16; j++ {
+		wg.Add(2)
+		name := fmt.Sprintf("rw-%d", j)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = s.Append(name, []byte("x"))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_, _ = s.Records(name)
+				s.Jobs()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func BenchmarkConcurrentAppend(b *testing.B) {
+	s := New(64)
+	rec := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = s.Append(fmt.Sprintf("job-%d", i%256), rec)
+			i++
+		}
+	})
+}

@@ -1,0 +1,266 @@
+// Package prefilter implements DEBAR's preliminary filter (paper §5.1):
+// the in-memory structure that performs preliminary de-duplication during
+// dedup-1, before any disk-index lookup.
+//
+// The filter is a hash table with 2^m buckets; a fingerprint's first m bits
+// select its bucket. Before a backup job runs, the filter is primed with
+// the *filtering fingerprints* — the fingerprint set of the previous run of
+// the same job (the job-chain semantics: adjacent versions of a dataset
+// share most of their data). During the job, each incoming fingerprint is
+// tested:
+//
+//   - not in the filter → it is inserted and marked 'new'; the chunk is
+//     transferred from the client and appended to the chunk log;
+//   - already in the filter → the chunk is a duplicate (of the previous
+//     version or of this stream) and is discarded.
+//
+// When the job finishes, the fingerprints marked 'new' are collected into
+// the undetermined fingerprint file for dedup-2's sequential index lookup.
+//
+// When the filter is full, victims are selected by FIFO order combined
+// with an LRU touch (paper: "we use the FIFO replacement policy, combined
+// with the LRU replacement policy"): the filter evicts the oldest-inserted
+// fingerprint whose last use is also old; a fingerprint re-referenced
+// since insertion gets one extra trip through the queue. New-marked
+// fingerprints are never evicted — they are owed to the undetermined file.
+package prefilter
+
+import (
+	"fmt"
+
+	"debar/internal/fp"
+)
+
+// node is one filter entry, a member of both its hash bucket (chained via
+// next) and the global FIFO list (chained via fifoPrev/fifoNext).
+type node struct {
+	f        fp.FP
+	isNew    bool // marked 'new': must survive until collected
+	touched  bool // referenced since insertion (LRU second chance)
+	prev     *node
+	next     *node
+	fifoPrev *node
+	fifoNext *node
+	bucket   uint64
+}
+
+// Filter is a preliminary filter. Not safe for concurrent use; each backup
+// job's stream is filtered by one File Store goroutine.
+type Filter struct {
+	mbits    uint
+	buckets  []*node
+	head     *node // FIFO eviction candidate
+	tail     *node // newest insertion
+	len      int
+	newCount int // resident new-marked (unevictable) nodes
+	max      int
+	evicted  int64
+}
+
+// New returns a filter with 2^mbits buckets and capacity maxEntries
+// fingerprints (0 = unlimited). The paper uses filters up to 1 GB,
+// sized at NodeBytes per fingerprint.
+func New(mbits uint, maxEntries int) *Filter {
+	if mbits > 32 {
+		panic(fmt.Sprintf("prefilter: mbits %d out of range", mbits))
+	}
+	return &Filter{
+		mbits:   mbits,
+		buckets: make([]*node, 1<<mbits),
+		max:     maxEntries,
+	}
+}
+
+// NodeBytes approximates per-fingerprint memory, for paper-style sizing
+// (a 1 GB filter holds on the order of 2^25 fingerprints).
+const NodeBytes = 32
+
+// EntriesForBytes converts a memory budget to a capacity.
+func EntriesForBytes(bytes int64) int64 { return bytes / NodeBytes }
+
+// Len returns the number of resident fingerprints.
+func (pf *Filter) Len() int { return pf.len }
+
+// Evicted returns how many fingerprints have been replaced so far.
+func (pf *Filter) Evicted() int64 { return pf.evicted }
+
+// Prime inserts a filtering fingerprint (from the previous run of the job
+// chain) without marking it new. Returns false if it was already present
+// or could not be admitted (capacity full of unevictable entries).
+func (pf *Filter) Prime(f fp.FP) bool {
+	if pf.find(f) != nil {
+		return false
+	}
+	return pf.insert(f, false)
+}
+
+// Test processes one incoming fingerprint of the backup stream. transfer
+// reports whether its chunk must be transferred and logged (true = the
+// fingerprint was not in the filter, so the chunk is possibly new).
+// admitted reports whether the fingerprint is now resident and new-marked;
+// when false (the filter is saturated with unevictable new entries) the
+// caller must track the fingerprint itself or its chunk would be logged
+// but never collected into the undetermined file.
+func (pf *Filter) Test(f fp.FP) (transfer, admitted bool) {
+	if n := pf.find(f); n != nil {
+		n.touched = true
+		return false, true
+	}
+	return true, pf.insert(f, true)
+}
+
+// CollectNew removes and returns all fingerprints marked 'new', in
+// unspecified order: the undetermined fingerprint file for dedup-2 (§5.1).
+// The fingerprints stay resident (unmarked) to keep filtering subsequent
+// adjacent versions, unless drop is true.
+func (pf *Filter) CollectNew(drop bool) []fp.FP {
+	var out []fp.FP
+	for n := pf.head; n != nil; {
+		next := n.fifoNext
+		if n.isNew {
+			out = append(out, n.f)
+			n.isNew = false
+			pf.newCount--
+			if drop {
+				pf.unlink(n)
+			}
+		}
+		n = next
+	}
+	return out
+}
+
+// NewCount returns the number of currently new-marked fingerprints.
+func (pf *Filter) NewCount() int { return pf.newCount }
+
+// Reset empties the filter.
+func (pf *Filter) Reset() {
+	for i := range pf.buckets {
+		pf.buckets[i] = nil
+	}
+	pf.head, pf.tail = nil, nil
+	pf.len = 0
+	pf.newCount = 0
+}
+
+func (pf *Filter) bucketOf(f fp.FP) uint64 { return f.Prefix(pf.mbits) }
+
+func (pf *Filter) find(f fp.FP) *node {
+	for n := pf.buckets[pf.bucketOf(f)]; n != nil; n = n.next {
+		if n.f == f {
+			return n
+		}
+	}
+	return nil
+}
+
+// insert adds f, evicting if needed. Returns false if no capacity could be
+// reclaimed (every resident entry is new-marked).
+func (pf *Filter) insert(f fp.FP, markNew bool) bool {
+	if pf.max > 0 && pf.len >= pf.max {
+		if !pf.evict() {
+			return false
+		}
+	}
+	k := pf.bucketOf(f)
+	n := &node{f: f, isNew: markNew, bucket: k}
+	// hash chain
+	n.next = pf.buckets[k]
+	if n.next != nil {
+		n.next.prev = n
+	}
+	pf.buckets[k] = n
+	// FIFO tail
+	if pf.tail == nil {
+		pf.head, pf.tail = n, n
+	} else {
+		n.fifoPrev = pf.tail
+		pf.tail.fifoNext = n
+		pf.tail = n
+	}
+	pf.len++
+	if markNew {
+		pf.newCount++
+	}
+	return true
+}
+
+// evict removes one victim using FIFO with an LRU second chance, in CLOCK
+// fashion: rotate the FIFO head to the tail while it is unevictable (new-
+// marked) or recently touched (second chance, touch cleared), and evict
+// the first plain entry. Rotation makes eviction amortised O(1): skipped
+// nodes are not rescanned by the next eviction. When every resident entry
+// is new-marked, eviction is impossible (O(1) fast path via newCount).
+func (pf *Filter) evict() bool {
+	if pf.newCount >= pf.len {
+		return false // everything is owed to the undetermined file
+	}
+	for scanned := 0; pf.head != nil && scanned <= pf.len; scanned++ {
+		n := pf.head
+		switch {
+		case n.isNew:
+			pf.moveToTail(n)
+		case n.touched:
+			n.touched = false
+			pf.moveToTail(n)
+		default:
+			pf.unlink(n)
+			pf.evicted++
+			return true
+		}
+	}
+	// One full rotation of second chances: evict the (now untouched,
+	// non-new) head outright.
+	for n := pf.head; n != nil; n = n.fifoNext {
+		if !n.isNew {
+			pf.unlink(n)
+			pf.evicted++
+			return true
+		}
+	}
+	return false
+}
+
+func (pf *Filter) moveToTail(n *node) {
+	if pf.tail == n {
+		return
+	}
+	// detach from FIFO
+	if n.fifoPrev != nil {
+		n.fifoPrev.fifoNext = n.fifoNext
+	} else {
+		pf.head = n.fifoNext
+	}
+	if n.fifoNext != nil {
+		n.fifoNext.fifoPrev = n.fifoPrev
+	}
+	// append at tail
+	n.fifoPrev = pf.tail
+	n.fifoNext = nil
+	pf.tail.fifoNext = n
+	pf.tail = n
+}
+
+func (pf *Filter) unlink(n *node) {
+	// hash chain
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		pf.buckets[n.bucket] = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	// FIFO
+	if n.fifoPrev != nil {
+		n.fifoPrev.fifoNext = n.fifoNext
+	} else {
+		pf.head = n.fifoNext
+	}
+	if n.fifoNext != nil {
+		n.fifoNext.fifoPrev = n.fifoPrev
+	} else {
+		pf.tail = n.fifoPrev
+	}
+	pf.len--
+}

@@ -1,0 +1,237 @@
+package prefilter
+
+import (
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func TestTestMarksNewAndFilters(t *testing.T) {
+	pf := New(8, 0)
+	f := fp.FromUint64(1)
+	if !transfers1(pf, f) {
+		t.Fatal("first Test should request transfer")
+	}
+	if transfers1(pf, f) {
+		t.Fatal("second Test should filter the duplicate")
+	}
+	newFPs := pf.CollectNew(false)
+	if len(newFPs) != 1 || newFPs[0] != f {
+		t.Fatalf("CollectNew = %v", newFPs)
+	}
+	// Collected fingerprints are unmarked but stay resident as filtering
+	// fingerprints for the next adjacent version.
+	if transfers1(pf, f) {
+		t.Fatal("collected fingerprint no longer filters")
+	}
+	if got := pf.CollectNew(false); len(got) != 0 {
+		t.Fatalf("second CollectNew = %v, want empty", got)
+	}
+}
+
+func TestPrimeFilters(t *testing.T) {
+	// Priming with the previous job version's fingerprints makes adjacent-
+	// version duplicates invisible to dedup-2 (§5.1).
+	pf := New(8, 0)
+	prev := []fp.FP{fp.FromUint64(10), fp.FromUint64(11), fp.FromUint64(12)}
+	for _, f := range prev {
+		if !pf.Prime(f) {
+			t.Fatal("Prime of fresh fingerprint failed")
+		}
+	}
+	if pf.Prime(prev[0]) {
+		t.Fatal("duplicate Prime succeeded")
+	}
+	transfers := 0
+	stream := append(prev, fp.FromUint64(13)) // 3 old + 1 new
+	for _, f := range stream {
+		if transfers1(pf, f) {
+			transfers++
+		}
+	}
+	if transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", transfers)
+	}
+	got := pf.CollectNew(false)
+	if len(got) != 1 || got[0] != fp.FromUint64(13) {
+		t.Fatalf("CollectNew = %v", got)
+	}
+}
+
+func TestIntraStreamDuplicates(t *testing.T) {
+	// Internal duplication of a job dataset is identified without any
+	// index lookup (§5.1).
+	pf := New(8, 0)
+	transfers := 0
+	for i := 0; i < 100; i++ {
+		if transfers1(pf, fp.FromUint64(uint64(i%10))) {
+			transfers++
+		}
+	}
+	if transfers != 10 {
+		t.Fatalf("transfers = %d, want 10", transfers)
+	}
+	if n := len(pf.CollectNew(false)); n != 10 {
+		t.Fatalf("new = %d, want 10", n)
+	}
+}
+
+func TestEvictionFIFO(t *testing.T) {
+	pf := New(4, 4)
+	// Prime 4 entries; inserting a 5th must evict the oldest primed one.
+	for i := 0; i < 4; i++ {
+		pf.Prime(fp.FromUint64(uint64(i)))
+	}
+	pf.Test(fp.FromUint64(100))
+	if pf.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", pf.Len())
+	}
+	if pf.Evicted() != 1 {
+		t.Fatalf("Evicted = %d, want 1", pf.Evicted())
+	}
+	// Oldest (0) must be gone: Test(0) now requests a transfer again.
+	if !transfers1(pf, fp.FromUint64(0)) {
+		t.Fatal("evicted fingerprint still filtering")
+	}
+}
+
+func TestEvictionLRUSecondChance(t *testing.T) {
+	pf := New(4, 3)
+	a, b, c, d := fp.FromUint64(1), fp.FromUint64(2), fp.FromUint64(3), fp.FromUint64(4)
+	pf.Prime(a)
+	pf.Prime(b)
+	pf.Prime(c)
+	// Touch a: it should survive the next eviction even though it is the
+	// FIFO head; b becomes the victim instead.
+	pf.Test(a)
+	pf.Prime(d)
+	if transfers1(pf, a) {
+		t.Fatal("recently-used head was evicted")
+	}
+	if !transfers1(pf, b) {
+		t.Fatal("untouched second entry was not evicted")
+	}
+}
+
+func TestNewEntriesNeverEvicted(t *testing.T) {
+	// New-marked fingerprints are owed to the undetermined file and must
+	// survive even under capacity pressure.
+	pf := New(4, 5)
+	var news []fp.FP
+	for i := 0; i < 5; i++ {
+		f := fp.FromUint64(uint64(i))
+		pf.Test(f)
+		news = append(news, f)
+	}
+	// All 5 are new-marked; further inserts cannot reclaim space.
+	before := pf.Len()
+	pf.Test(fp.FromUint64(1000)) // cannot be admitted
+	if pf.Len() != before {
+		t.Fatalf("Len changed from %d to %d", before, pf.Len())
+	}
+	got := pf.CollectNew(false)
+	if len(got) != 5 {
+		t.Fatalf("CollectNew lost entries: %d, want 5", len(got))
+	}
+	seen := map[fp.FP]bool{}
+	for _, f := range got {
+		seen[f] = true
+	}
+	for _, f := range news {
+		if !seen[f] {
+			t.Fatalf("new fingerprint %v missing from undetermined set", f.Short())
+		}
+	}
+}
+
+func TestCollectNewDrop(t *testing.T) {
+	pf := New(4, 0)
+	pf.Test(fp.FromUint64(1))
+	pf.Test(fp.FromUint64(2))
+	got := pf.CollectNew(true)
+	if len(got) != 2 {
+		t.Fatalf("CollectNew = %d entries", len(got))
+	}
+	if pf.Len() != 0 {
+		t.Fatalf("Len after drop = %d, want 0", pf.Len())
+	}
+	if !transfers1(pf, fp.FromUint64(1)) {
+		t.Fatal("dropped fingerprint still filtering")
+	}
+}
+
+func TestNewCount(t *testing.T) {
+	pf := New(4, 0)
+	pf.Prime(fp.FromUint64(1))
+	pf.Test(fp.FromUint64(2))
+	pf.Test(fp.FromUint64(3))
+	if got := pf.NewCount(); got != 2 {
+		t.Fatalf("NewCount = %d, want 2", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	pf := New(4, 0)
+	for i := 0; i < 50; i++ {
+		pf.Test(fp.FromUint64(uint64(i)))
+	}
+	pf.Reset()
+	if pf.Len() != 0 || pf.NewCount() != 0 {
+		t.Fatal("Reset left residue")
+	}
+	if !transfers1(pf, fp.FromUint64(1)) {
+		t.Fatal("filter not empty after Reset")
+	}
+}
+
+func TestLargeChurn(t *testing.T) {
+	// Grind the eviction machinery: bounded filter, long stream with
+	// locality. The filter must stay at capacity and keep functioning.
+	pf := New(8, 256)
+	for i := 0; i < 10000; i++ {
+		pf.Test(fp.FromUint64(uint64(i % 1024)))
+		if i%512 == 0 {
+			pf.CollectNew(false) // periodically unmark so eviction can work
+		}
+	}
+	if pf.Len() > 256 {
+		t.Fatalf("filter exceeded capacity: %d", pf.Len())
+	}
+	if pf.Evicted() == 0 {
+		t.Fatal("no evictions under churn")
+	}
+}
+
+func TestEntriesForBytes(t *testing.T) {
+	if got := EntriesForBytes(1 << 30); got < 30e6 || got > 40e6 {
+		t.Fatalf("EntriesForBytes(1GB) = %d, want ≈2^25", got)
+	}
+}
+
+func BenchmarkTestHit(b *testing.B) {
+	pf := New(16, 0)
+	for i := 0; i < 1<<16; i++ {
+		pf.Prime(fp.FromUint64(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.Test(fp.FromUint64(uint64(i % (1 << 16))))
+	}
+}
+
+func BenchmarkTestMissWithEviction(b *testing.B) {
+	pf := New(16, 1<<15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pf.Test(fp.FromUint64(uint64(i)))
+		if i%(1<<14) == 0 {
+			pf.CollectNew(false)
+		}
+	}
+}
+
+// transfers1 adapts Test for boolean-context assertions.
+func transfers1(pf *Filter, f fp.FP) bool {
+	tr, _ := pf.Test(f)
+	return tr
+}

@@ -1,0 +1,224 @@
+// Package proto defines the wire protocol spoken between DEBAR's backup
+// clients, backup servers and the director (paper §2, §3). Messages are
+// gob-encoded over TCP (or any io.ReadWriter); each connection carries a
+// bidirectional stream of the types registered here.
+package proto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"debar/internal/fp"
+)
+
+// Conn wraps a transport with gob encoding of protocol messages.
+type Conn struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+	raw io.ReadWriteCloser
+}
+
+// NewConn wraps an established transport.
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), raw: rw}
+}
+
+// Dial connects to a DEBAR endpoint.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	return NewConn(c), nil
+}
+
+// Send writes one message.
+func (c *Conn) Send(msg any) error {
+	if err := c.enc.Encode(&msg); err != nil {
+		return fmt.Errorf("proto: send: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (any, error) {
+	var msg any
+	if err := c.dec.Decode(&msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// FileEntry is one file's metadata and index: the sequence of fingerprints
+// referencing the file's chunks (§3.1: "a file index ... is a sequence of
+// fingerprints that reference to the file chunks").
+type FileEntry struct {
+	Path   string
+	Mode   uint32
+	Size   int64
+	Chunks []fp.FP
+	Sizes  []uint32 // per-chunk sizes, parallel to Chunks
+}
+
+// ---- client ↔ backup server ----
+
+// BackupStart opens a backup session for one job run.
+type BackupStart struct {
+	JobName string
+	Client  string
+}
+
+// BackupStartOK acknowledges the session.
+type BackupStartOK struct {
+	SessionID uint64
+}
+
+// FPBatch offers a batch of fingerprints for preliminary filtering.
+type FPBatch struct {
+	SessionID uint64
+	FPs       []fp.FP
+	Sizes     []uint32
+}
+
+// FPVerdicts answers which offered chunks must be transferred.
+type FPVerdicts struct {
+	Need []bool
+}
+
+// ChunkBatch carries chunk payloads that passed the filter.
+type ChunkBatch struct {
+	SessionID uint64
+	FPs       []fp.FP
+	Data      [][]byte
+}
+
+// Ack is a generic success/failure reply.
+type Ack struct {
+	OK  bool
+	Err string
+}
+
+// FileMeta records one completed file's metadata and index.
+type FileMeta struct {
+	SessionID uint64
+	Entry     FileEntry
+}
+
+// BackupEnd closes the session.
+type BackupEnd struct {
+	SessionID uint64
+}
+
+// BackupDone reports session statistics.
+type BackupDone struct {
+	LogicalBytes     int64
+	TransferredBytes int64
+	NewFingerprints  int64
+}
+
+// RestoreFile asks for a file's content from a previous job run.
+type RestoreFile struct {
+	JobName string
+	Path    string
+}
+
+// RestoreData streams a restored file (single message for simplicity;
+// chunk-level streaming is layered above for large files).
+type RestoreData struct {
+	Entry FileEntry
+	Data  []byte
+}
+
+// ListFiles asks which files a job's latest run contains.
+type ListFiles struct {
+	JobName string
+}
+
+// FileList answers ListFiles.
+type FileList struct {
+	Paths []string
+}
+
+// Dedup2Request asks a backup server to run dedup-2 now (director-issued).
+type Dedup2Request struct {
+	RunSIU bool
+}
+
+// Dedup2Done reports the outcome.
+type Dedup2Done struct {
+	NewChunks  int64
+	DupChunks  int64
+	Containers int64
+	Err        string
+}
+
+// ---- server ↔ director ----
+
+// RegisterServer announces a backup server to the director.
+type RegisterServer struct {
+	Addr string
+}
+
+// RegisterOK assigns the server its number.
+type RegisterOK struct {
+	ServerID int
+}
+
+// PutFileIndex stores a file index with the director's metadata manager.
+type PutFileIndex struct {
+	JobName string
+	RunID   uint64
+	Entry   FileEntry
+}
+
+// GetJobFiles fetches the latest run's file entries for a job.
+type GetJobFiles struct {
+	JobName string
+}
+
+// JobFiles answers GetJobFiles.
+type JobFiles struct {
+	RunID   uint64
+	Entries []FileEntry
+}
+
+// GetFilterFPs fetches the previous run's fingerprints (the job-chain
+// filtering fingerprints, §5.1).
+type GetFilterFPs struct {
+	JobName string
+}
+
+// FilterFPs answers GetFilterFPs.
+type FilterFPs struct {
+	FPs []fp.FP
+}
+
+// NewRun allocates a run ID for a job execution.
+type NewRun struct {
+	JobName string
+	Client  string
+}
+
+// NewRunOK returns the allocated run ID.
+type NewRunOK struct {
+	RunID uint64
+}
+
+func init() {
+	for _, m := range []any{
+		BackupStart{}, BackupStartOK{}, FPBatch{}, FPVerdicts{},
+		ChunkBatch{}, Ack{}, FileMeta{}, BackupEnd{}, BackupDone{},
+		RestoreFile{}, RestoreData{}, ListFiles{}, FileList{},
+		Dedup2Request{}, Dedup2Done{},
+		RegisterServer{}, RegisterOK{}, PutFileIndex{}, GetJobFiles{},
+		JobFiles{}, GetFilterFPs{}, FilterFPs{}, NewRun{}, NewRunOK{},
+	} {
+		gob.Register(m)
+	}
+}

@@ -1,0 +1,255 @@
+package server_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"debar/internal/chunker"
+	"debar/internal/client"
+	"debar/internal/director"
+	"debar/internal/server"
+)
+
+// startSystem boots a director and one backup server on loopback TCP.
+func startSystem(t *testing.T) (d *director.Director, srvAddr string) {
+	t.Helper()
+	d = director.New()
+	dirAddr, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+
+	srv, err := server.New(server.Config{
+		DirectorAddr:  dirAddr,
+		ContainerSize: 64 << 10,
+		IndexBits:     12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvAddr, err = srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return d, srvAddr
+}
+
+// writeTree builds a deterministic file tree with duplicate content.
+func writeTree(t *testing.T, dir string, seed int64) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	files := map[string][]byte{}
+	shared := make([]byte, 200<<10) // duplicated across files
+	rng.Read(shared)
+	for i := 0; i < 5; i++ {
+		unique := make([]byte, 50<<10+i*1000)
+		rng.Read(unique)
+		data := append(append([]byte{}, shared...), unique...)
+		rel := filepath.Join("sub", "file"+string(rune('a'+i))+".bin")
+		files[rel] = data
+		full := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+func testClient(srvAddr string) *client.Client {
+	c := client.New(srvAddr, "it-client")
+	c.Chunking = chunker.Config{AvgBits: 10, Min: 512, Max: 8192, Window: 32}
+	return c
+}
+
+func TestBackupDedup2RestoreRoundTrip(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	src := t.TempDir()
+	files := writeTree(t, src, 1)
+
+	c := testClient(srvAddr)
+	stats, err := c.Backup("job-it", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 5 {
+		t.Fatalf("backed up %d files", stats.Files)
+	}
+	if stats.LogicalBytes == 0 {
+		t.Fatal("no logical bytes")
+	}
+	// The shared prefix dedupes inside the stream: the preliminary
+	// filter must have cut the transfer well below logical.
+	if stats.TransferredBytes >= stats.LogicalBytes {
+		t.Fatalf("no dedup-1 savings: %d transferred of %d logical",
+			stats.TransferredBytes, stats.LogicalBytes)
+	}
+
+	// Director-initiated dedup-2 (SIL + chunk storing + SIU).
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	n, err := c.Restore("job-it", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("restored %d files", n)
+	}
+	for rel, want := range files {
+		got, err := os.ReadFile(filepath.Join(dst, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("restored %s differs (%d vs %d bytes)", rel, len(got), len(want))
+		}
+	}
+}
+
+func TestSecondRunJobChainDedup(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	src := t.TempDir()
+	writeTree(t, src, 2)
+	c := testClient(srvAddr)
+
+	first, err := c.Backup("job-chain", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second, identical run: the job-chain filtering fingerprints from
+	// the director prime the filter, so (almost) nothing transfers.
+	second, err := c.Backup("job-chain", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.TransferredBytes > first.TransferredBytes/10 {
+		t.Fatalf("second run transferred %d, first %d: job chain not filtering",
+			second.TransferredBytes, first.TransferredBytes)
+	}
+	if second.NewFingerprints != 0 {
+		t.Fatalf("second run produced %d new fingerprints", second.NewFingerprints)
+	}
+}
+
+func TestModifiedFileIncrementalBackup(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	src := t.TempDir()
+	files := writeTree(t, src, 3)
+	c := testClient(srvAddr)
+
+	if _, err := c.Backup("job-mod", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a little data to one file: only the tail chunks transfer.
+	mod := filepath.Join(src, "sub", "filea.bin")
+	orig, _ := os.ReadFile(mod)
+	if err := os.WriteFile(mod, append(orig, []byte("tail change")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Backup("job-mod", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TransferredBytes > int64(64<<10) {
+		t.Fatalf("incremental run transferred %d bytes for a tiny append", stats.TransferredBytes)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := t.TempDir()
+	if _, err := c.Restore("job-mod", dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, "sub", "filea.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, files[filepath.Join("sub", "filea.bin")]...), []byte("tail change")...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("modified file restored incorrectly")
+	}
+}
+
+func TestRestoreUnknownJobFails(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	_ = d
+	c := testClient(srvAddr)
+	if _, err := c.Restore("no-such-job", t.TempDir()); err == nil {
+		t.Fatal("restore of unknown job succeeded")
+	}
+}
+
+func TestVerifyDetectsModifications(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	src := t.TempDir()
+	writeTree(t, src, 4)
+	c := testClient(srvAddr)
+
+	if _, err := c.Backup("job-verify", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pristine tree verifies clean.
+	res, err := c.Verify("job-verify", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Matched != 5 || res.Checked != 5 {
+		t.Fatalf("pristine verify = %+v", res)
+	}
+
+	// Modify one file, delete another: verify must flag exactly those.
+	mod := filepath.Join(src, "sub", "filea.bin")
+	orig, _ := os.ReadFile(mod)
+	orig[0] ^= 0xFF
+	if err := os.WriteFile(mod, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(src, "sub", "fileb.bin")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Verify("job-verify", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("verify missed the damage")
+	}
+	if len(res.Modified) != 1 || len(res.Missing) != 1 {
+		t.Fatalf("verify = %+v", res)
+	}
+	if res.Matched != 3 {
+		t.Fatalf("matched = %d, want 3", res.Matched)
+	}
+}
+
+func TestVerifyUnknownJob(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	_ = d
+	c := testClient(srvAddr)
+	if _, err := c.Verify("ghost-job", t.TempDir()); err == nil {
+		t.Fatal("verify of unknown job succeeded")
+	}
+}

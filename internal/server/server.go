@@ -1,0 +1,444 @@
+// Package server implements a DEBAR backup server (paper §3.3): the File
+// Store module performing dedup-1 on incoming client streams (preliminary
+// filtering, file indexing, chunk logging) and the Chunk Store module
+// performing dedup-2 (SIL, chunk storing, SIU) plus LPC-cached restores.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"debar/internal/chunklog"
+	"debar/internal/container"
+	"debar/internal/diskindex"
+	"debar/internal/fp"
+	"debar/internal/prefilter"
+	"debar/internal/proto"
+	"debar/internal/tpds"
+)
+
+// Config sizes a backup server.
+type Config struct {
+	IndexBits     uint // disk index bucket bits (default 16 for tooling)
+	IndexBlocks   int  // bucket blocks (default 1)
+	ContainerSize int  // default 8 MB
+	FilterEntries int  // preliminary filter capacity (0 = unlimited)
+	CacheBits     uint // index cache bucket bits for SIL/SIU
+	DirectorAddr  string
+}
+
+func (c Config) withDefaults() Config {
+	if c.IndexBits == 0 {
+		c.IndexBits = 16
+	}
+	if c.IndexBlocks == 0 {
+		c.IndexBlocks = 1
+	}
+	if c.ContainerSize == 0 {
+		c.ContainerSize = container.DefaultSize
+	}
+	if c.CacheBits == 0 {
+		c.CacheBits = 12
+	}
+	return c
+}
+
+// session is one client backup session (one job run).
+type session struct {
+	id       uint64
+	jobName  string
+	runID    uint64
+	filter   *prefilter.Filter
+	overflow []fp.FP // new fingerprints the saturated filter couldn't hold
+	logical  int64
+	xfer     int64
+	newFPs   int64
+}
+
+// Server is one backup server.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextSess uint64
+	pending  []fp.FP // undetermined fingerprints awaiting dedup-2
+	unreg    []fp.Entry
+	log      *chunklog.Log
+	chunk    *tpds.ChunkStore
+	restorer *tpds.Restorer
+	ln       net.Listener
+	addr     string
+	serverID int
+}
+
+// New builds a backup server over in-memory storage (the daemon binaries
+// wire file-backed stores).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ix, err := diskindex.NewMem(diskindex.Config{
+		BucketBits:   cfg.IndexBits,
+		BucketBlocks: cfg.IndexBlocks,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	repo := container.NewMemRepository(false, nil)
+	cs := tpds.NewChunkStore(ix, repo, false, true)
+	cs.ContainerSize = cfg.ContainerSize
+	return &Server{
+		cfg:      cfg,
+		sessions: make(map[uint64]*session),
+		log:      chunklog.NewMem(false, nil),
+		chunk:    cs,
+		restorer: tpds.NewRestorer(ix, repo, 16),
+	}, nil
+}
+
+// Serve starts the TCP endpoint and registers with the director (when
+// configured). Returns the bound address.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.addr = ln.Addr().String()
+	s.mu.Unlock()
+
+	if s.cfg.DirectorAddr != "" {
+		conn, err := proto.Dial(s.cfg.DirectorAddr)
+		if err != nil {
+			ln.Close()
+			return "", fmt.Errorf("server: registering with director: %w", err)
+		}
+		if err := conn.Send(proto.RegisterServer{Addr: s.addr}); err != nil {
+			conn.Close()
+			ln.Close()
+			return "", err
+		}
+		msg, err := conn.Recv()
+		conn.Close()
+		if err != nil {
+			ln.Close()
+			return "", fmt.Errorf("server: director registration reply: %w", err)
+		}
+		if ok, is := msg.(proto.RegisterOK); is {
+			s.serverID = ok.ServerID
+		}
+	}
+
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.handle(proto.NewConn(c))
+		}
+	}()
+	return s.addr, nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+// director opens a fresh control connection to the director.
+func (s *Server) director() (*proto.Conn, error) {
+	if s.cfg.DirectorAddr == "" {
+		return nil, errors.New("server: no director configured")
+	}
+	return proto.Dial(s.cfg.DirectorAddr)
+}
+
+// directorCall sends one request and decodes one reply.
+func (s *Server) directorCall(req any) (any, error) {
+	conn, err := s.director()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(req); err != nil {
+		return nil, err
+	}
+	return conn.Recv()
+}
+
+func (s *Server) handle(conn *proto.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		reply, err := s.dispatch(msg)
+		if err != nil {
+			reply = proto.Ack{OK: false, Err: err.Error()}
+		}
+		if err := conn.Send(reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(msg any) (any, error) {
+	switch m := msg.(type) {
+	case proto.BackupStart:
+		return s.startBackup(m)
+	case proto.FPBatch:
+		return s.fpBatch(m)
+	case proto.ChunkBatch:
+		return s.chunkBatch(m)
+	case proto.FileMeta:
+		return s.fileMeta(m)
+	case proto.BackupEnd:
+		return s.endBackup(m)
+	case proto.ListFiles:
+		return s.listFiles(m)
+	case proto.RestoreFile:
+		return s.restoreFile(m)
+	case proto.Dedup2Request:
+		return s.runDedup2(m)
+	default:
+		return nil, fmt.Errorf("server: unexpected message %T", msg)
+	}
+}
+
+func (s *Server) startBackup(m proto.BackupStart) (any, error) {
+	// Allocate a run with the director and fetch the job chain's
+	// filtering fingerprints (§5.1).
+	var runID uint64
+	var filterFPs []fp.FP
+	if s.cfg.DirectorAddr != "" {
+		reply, err := s.directorCall(proto.NewRun{JobName: m.JobName, Client: m.Client})
+		if err != nil {
+			return nil, err
+		}
+		ok, is := reply.(proto.NewRunOK)
+		if !is {
+			return nil, fmt.Errorf("server: unexpected NewRun reply %T", reply)
+		}
+		runID = ok.RunID
+		if fpsReply, err := s.directorCall(proto.GetFilterFPs{JobName: m.JobName}); err == nil {
+			if ff, is := fpsReply.(proto.FilterFPs); is {
+				filterFPs = ff.FPs
+			}
+		}
+	}
+
+	filter := prefilter.New(14, s.cfg.FilterEntries)
+	for _, f := range filterFPs {
+		filter.Prime(f)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSess++
+	sess := &session{
+		id:      s.nextSess,
+		jobName: m.JobName,
+		runID:   runID,
+		filter:  filter,
+	}
+	s.sessions[sess.id] = sess
+	return proto.BackupStartOK{SessionID: sess.id}, nil
+}
+
+func (s *Server) getSession(id uint64) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown session %d", id)
+	}
+	return sess, nil
+}
+
+func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
+	sess, err := s.getSession(m.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.FPs) != len(m.Sizes) {
+		return nil, errors.New("server: FPBatch lengths differ")
+	}
+	need := make([]bool, len(m.FPs))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range m.FPs {
+		tr, admitted := sess.filter.Test(f)
+		need[i] = tr
+		sess.logical += int64(m.Sizes[i])
+		sess.xfer += fp.Size + 1
+		if tr {
+			sess.newFPs++
+			if !admitted {
+				sess.overflow = append(sess.overflow, f)
+			}
+		}
+	}
+	return proto.FPVerdicts{Need: need}, nil
+}
+
+func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
+	sess, err := s.getSession(m.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.FPs) != len(m.Data) {
+		return nil, errors.New("server: ChunkBatch lengths differ")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, f := range m.FPs {
+		if got := fp.New(m.Data[i]); got != f {
+			return nil, fmt.Errorf("server: chunk %d fingerprint mismatch (corruption in transit)", i)
+		}
+		if err := s.log.Append(f, uint32(len(m.Data[i])), m.Data[i]); err != nil {
+			return nil, err
+		}
+		sess.xfer += int64(len(m.Data[i]))
+	}
+	return proto.Ack{OK: true}, nil
+}
+
+func (s *Server) fileMeta(m proto.FileMeta) (any, error) {
+	sess, err := s.getSession(m.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.DirectorAddr != "" {
+		reply, err := s.directorCall(proto.PutFileIndex{
+			JobName: sess.jobName, RunID: sess.runID, Entry: m.Entry,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ack, is := reply.(proto.Ack); is && !ack.OK {
+			return nil, errors.New(ack.Err)
+		}
+	}
+	return proto.Ack{OK: true}, nil
+}
+
+func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
+	sess, err := s.getSession(m.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	und := sess.filter.CollectNew(false)
+	seen := make(map[fp.FP]bool, len(und))
+	for _, f := range und {
+		seen[f] = true
+	}
+	for _, f := range sess.overflow {
+		if !seen[f] {
+			seen[f] = true
+			und = append(und, f)
+		}
+	}
+	s.pending = append(s.pending, und...)
+	delete(s.sessions, sess.id)
+	return proto.BackupDone{
+		LogicalBytes:     sess.logical,
+		TransferredBytes: sess.xfer,
+		NewFingerprints:  sess.newFPs,
+	}, nil
+}
+
+func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
+	s.mu.Lock()
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+
+	res, unreg, err := s.chunk.RunSILAndStore(pending, s.log, s.cfg.CacheBits)
+	if err != nil {
+		return proto.Dedup2Done{Err: err.Error()}, nil
+	}
+	if err := s.log.Reset(); err != nil {
+		return proto.Dedup2Done{Err: err.Error()}, nil
+	}
+	s.mu.Lock()
+	s.unreg = append(s.unreg, unreg...)
+	runSIU := m.RunSIU
+	var toUpdate []fp.Entry
+	if runSIU {
+		toUpdate = s.unreg
+		s.unreg = nil
+	}
+	s.mu.Unlock()
+	if runSIU {
+		if _, err := s.chunk.RunSIU(toUpdate); err != nil {
+			return proto.Dedup2Done{Err: err.Error()}, nil
+		}
+	}
+	return proto.Dedup2Done{
+		NewChunks:  res.Store.NewChunks,
+		DupChunks:  res.IndexDups + res.Store.DupChunks + res.CheckingDups,
+		Containers: res.Store.Containers,
+	}, nil
+}
+
+func (s *Server) listFiles(m proto.ListFiles) (any, error) {
+	reply, err := s.directorCall(proto.GetJobFiles{JobName: m.JobName})
+	if err != nil {
+		return nil, err
+	}
+	switch r := reply.(type) {
+	case proto.JobFiles:
+		var paths []string
+		for _, e := range r.Entries {
+			paths = append(paths, e.Path)
+		}
+		return proto.FileList{Paths: paths}, nil
+	case proto.Ack:
+		return nil, errors.New(r.Err)
+	default:
+		return nil, fmt.Errorf("server: unexpected reply %T", reply)
+	}
+}
+
+func (s *Server) restoreFile(m proto.RestoreFile) (any, error) {
+	reply, err := s.directorCall(proto.GetJobFiles{JobName: m.JobName})
+	if err != nil {
+		return nil, err
+	}
+	files, ok := reply.(proto.JobFiles)
+	if !ok {
+		if ack, is := reply.(proto.Ack); is {
+			return nil, errors.New(ack.Err)
+		}
+		return nil, fmt.Errorf("server: unexpected reply %T", reply)
+	}
+	for _, e := range files.Entries {
+		if e.Path != m.Path {
+			continue
+		}
+		// Reassemble from the chunk repository through LPC (§3.3).
+		s.mu.Lock()
+		data := make([]byte, 0, e.Size)
+		for _, f := range e.Chunks {
+			chunk, err := s.restorer.Chunk(f)
+			if err != nil {
+				s.mu.Unlock()
+				return nil, fmt.Errorf("server: restoring %s: %w", e.Path, err)
+			}
+			data = append(data, chunk...)
+		}
+		s.mu.Unlock()
+		return proto.RestoreData{Entry: e, Data: data}, nil
+	}
+	return nil, fmt.Errorf("server: %s not found in job %q", m.Path, m.JobName)
+}

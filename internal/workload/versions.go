@@ -1,0 +1,205 @@
+// Package workload generates the synthetic fingerprint workloads of the
+// paper's evaluation.
+//
+// The multi-server experiments (§6.2) model backup streams as ordered
+// series of synthetic fingerprint versions: fingerprints are SHA-1 hashes
+// of an incrementing 64-bit counter, the counter value space is divided
+// into 64 non-intersecting contiguous subspaces (one per backup client),
+// and each successor version is derived from its predecessor by
+// reordering/deleting fingerprints, adding new fingerprints from a
+// contiguous section of the client's own subspace, and adding duplicate
+// fingerprints from contiguous sections of previously used counter ranges
+// — of this client (stream-local duplicates) or of other clients
+// (cross-stream duplicates). Contiguous sections preserve the duplicate
+// locality that SISL and LPC exploit.
+//
+// The month trace (month.go) models the HUSt data-center workload of
+// §6.1 with the same machinery.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"debar/internal/fp"
+)
+
+// SubspaceBits is the log2 size of each client's counter subspace: 64
+// subspaces of 2^58 values (§6.2).
+const SubspaceBits = 58
+
+// SubspaceBase returns the first counter value of client subspace s.
+func SubspaceBase(s int) uint64 { return uint64(s) << SubspaceBits }
+
+// Section is a contiguous counter range [Start, Start+Len).
+type Section struct {
+	Start uint64
+	Len   int
+}
+
+// FPs materialises the section's fingerprints.
+func (s Section) FPs() []fp.FP { return fp.Section(s.Start, s.Len) }
+
+// VersionConfig shapes one stream of versions.
+type VersionConfig struct {
+	Stream           int     // subspace / client number (0..63)
+	Streams          int     // total streams (for cross-stream sourcing)
+	ChunksPerVersion int     // fingerprints per version
+	DupFrac          float64 // fraction of each version ≥ v1 that is duplicate (§6.2: ≈0.90)
+	CrossFrac        float64 // fraction of the duplicates that are cross-stream (§6.2: ≈0.30)
+	RunLen           int     // expected contiguous run length (locality grain)
+	Seed             int64
+}
+
+// Validate checks the configuration.
+func (c VersionConfig) Validate() error {
+	if c.Streams <= 0 || c.Stream < 0 || c.Stream >= c.Streams || c.Streams > 64 {
+		return fmt.Errorf("workload: stream %d of %d invalid", c.Stream, c.Streams)
+	}
+	if c.ChunksPerVersion <= 0 {
+		return fmt.Errorf("workload: chunks per version %d", c.ChunksPerVersion)
+	}
+	if c.DupFrac < 0 || c.DupFrac >= 1 {
+		return fmt.Errorf("workload: dup fraction %v out of [0,1)", c.DupFrac)
+	}
+	if c.CrossFrac < 0 || c.CrossFrac > 1 {
+		return fmt.Errorf("workload: cross fraction %v out of [0,1]", c.CrossFrac)
+	}
+	return nil
+}
+
+// VersionStream generates the versions of one backup stream. Generation is
+// deterministic in (config, version index) so that restore experiments can
+// regenerate any version without retaining it.
+type VersionStream struct {
+	cfg VersionConfig
+}
+
+// NewVersionStream validates the config and returns a stream.
+func NewVersionStream(cfg VersionConfig) (*VersionStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.RunLen <= 0 {
+		cfg.RunLen = 128
+	}
+	return &VersionStream{cfg: cfg}, nil
+}
+
+// newPerVersion returns how many fresh fingerprints version v introduces.
+func (vs *VersionStream) newPerVersion(v int) int {
+	if v == 0 {
+		return vs.cfg.ChunksPerVersion
+	}
+	return int(float64(vs.cfg.ChunksPerVersion) * (1 - vs.cfg.DupFrac))
+}
+
+// consumedBefore returns how many counters of this stream's subspace have
+// been consumed before version v.
+func (vs *VersionStream) consumedBefore(v int) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return uint64(vs.cfg.ChunksPerVersion) + uint64(v-1)*uint64(vs.newPerVersion(1))
+}
+
+// consumedOf mirrors consumedBefore for a sibling stream with the same
+// configuration (the experiments run homogeneous streams, as the paper's
+// do: "For each backup stream 10 versions of 50GB each are generated").
+func (vs *VersionStream) consumedOf(stream, v int) (uint64, uint64) {
+	base := SubspaceBase(stream)
+	return base, uint64(vs.cfg.ChunksPerVersion) + uint64(v-1)*uint64(vs.newPerVersion(1))
+}
+
+// Version materialises version v as an ordered fingerprint list.
+func (vs *VersionStream) Version(v int) []fp.FP {
+	cfg := vs.cfg
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Stream)<<32 ^ int64(v)))
+	base := SubspaceBase(cfg.Stream)
+
+	if v == 0 {
+		// First version: all new, one contiguous section (maximal
+		// locality, like an initial full backup).
+		return Section{Start: base, Len: cfg.ChunksPerVersion}.FPs()
+	}
+
+	newCount := vs.newPerVersion(v)
+	dupCount := cfg.ChunksPerVersion - newCount
+	crossCount := int(float64(dupCount) * cfg.CrossFrac)
+	selfCount := dupCount - crossCount
+
+	var sections []Section
+	// New fingerprints: contiguous sections from the unconsumed region.
+	newStart := base + vs.consumedBefore(v)
+	sections = append(sections, cutRuns(rng, Section{Start: newStart, Len: newCount}, cfg.RunLen)...)
+	// Self duplicates: a successor version mostly replays its predecessor
+	// with some deletions and reorderings (§6.2), so the self-duplicate
+	// part is a few long ordered blocks of history — the duplicate
+	// locality SISL containers preserve and LPC exploits.
+	selfRun := cfg.RunLen
+	if long := selfCount / 6; long > selfRun {
+		selfRun = long
+	}
+	sections = append(sections, historyRuns(rng, base, vs.consumedBefore(v), selfCount, selfRun)...)
+	// Cross-stream duplicates: runs from other streams' histories
+	// ("a number of small contiguous sections of the variable value space
+	// from ... other subspaces", §6.2).
+	for remaining := crossCount; remaining > 0; {
+		other := rng.Intn(cfg.Streams)
+		if cfg.Streams > 1 {
+			for other == cfg.Stream {
+				other = rng.Intn(cfg.Streams)
+			}
+		}
+		ob, oc := vs.consumedOf(other, v)
+		n := min(remaining, cfg.RunLen/2+rng.Intn(cfg.RunLen))
+		runs := historyRuns(rng, ob, oc, n, cfg.RunLen)
+		sections = append(sections, runs...)
+		remaining -= n
+	}
+
+	// Reorder sections (the §6.2 "reordering" mutation) while keeping
+	// each run contiguous, then materialise.
+	rng.Shuffle(len(sections), func(i, j int) { sections[i], sections[j] = sections[j], sections[i] })
+	out := make([]fp.FP, 0, cfg.ChunksPerVersion)
+	for _, s := range sections {
+		out = append(out, s.FPs()...)
+	}
+	return out
+}
+
+// cutRuns splits a section into contiguous runs of ~runLen.
+func cutRuns(rng *rand.Rand, s Section, runLen int) []Section {
+	var out []Section
+	for s.Len > 0 {
+		n := min(s.Len, runLen/2+rng.Intn(runLen+1))
+		if n <= 0 {
+			n = 1
+		}
+		out = append(out, Section{Start: s.Start, Len: n})
+		s.Start += uint64(n)
+		s.Len -= n
+	}
+	return out
+}
+
+// historyRuns picks contiguous runs totalling count values from the
+// consumed region [base, base+consumed).
+func historyRuns(rng *rand.Rand, base, consumed uint64, count, runLen int) []Section {
+	var out []Section
+	for count > 0 {
+		n := min(count, runLen/2+rng.Intn(runLen+1))
+		if n <= 0 {
+			n = 1
+		}
+		maxStart := int64(consumed) - int64(n)
+		if maxStart < 0 {
+			n = int(consumed)
+			maxStart = 0
+		}
+		start := base + uint64(rng.Int63n(maxStart+1))
+		out = append(out, Section{Start: start, Len: n})
+		count -= n
+	}
+	return out
+}

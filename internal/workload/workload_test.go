@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func vcfg() VersionConfig {
+	return VersionConfig{
+		Stream:           0,
+		Streams:          4,
+		ChunksPerVersion: 5000,
+		DupFrac:          0.90,
+		CrossFrac:        0.30,
+		Seed:             42,
+	}
+}
+
+func TestVersionStreamValidation(t *testing.T) {
+	bad := []VersionConfig{
+		{Stream: 0, Streams: 0, ChunksPerVersion: 10},
+		{Stream: 5, Streams: 4, ChunksPerVersion: 10},
+		{Stream: 0, Streams: 4, ChunksPerVersion: 0},
+		{Stream: 0, Streams: 4, ChunksPerVersion: 10, DupFrac: 1.0},
+		{Stream: 0, Streams: 4, ChunksPerVersion: 10, CrossFrac: -0.1},
+		{Stream: 0, Streams: 65, ChunksPerVersion: 10},
+	}
+	for i, c := range bad {
+		if _, err := NewVersionStream(c); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestVersion0AllNewAndContiguous(t *testing.T) {
+	vs, err := NewVersionStream(vcfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v0 := vs.Version(0)
+	if len(v0) != 5000 {
+		t.Fatalf("len(v0) = %d", len(v0))
+	}
+	for i, f := range v0 {
+		if f != fp.FromUint64(SubspaceBase(0)+uint64(i)) {
+			t.Fatalf("v0[%d] not the contiguous counter fingerprint", i)
+		}
+	}
+}
+
+func TestVersionDeterministic(t *testing.T) {
+	vs, _ := NewVersionStream(vcfg())
+	a := vs.Version(3)
+	b := vs.Version(3)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("version 3 not deterministic at %d", i)
+		}
+	}
+}
+
+func TestVersionDuplicationRatio(t *testing.T) {
+	// Version compression ratio should approach 1/(1-DupFrac) = 10
+	// against the full history (§6.2: "an average version compression
+	// ratio of 10").
+	vs, _ := NewVersionStream(vcfg())
+	seen := map[fp.FP]bool{}
+	for _, f := range vs.Version(0) {
+		seen[f] = true
+	}
+	for v := 1; v <= 3; v++ {
+		version := vs.Version(v)
+		if len(version) < 4900 || len(version) > 5100 {
+			t.Fatalf("v%d size %d, want ≈5000", v, len(version))
+		}
+		dups := 0
+		for _, f := range version {
+			if seen[f] {
+				dups++
+			}
+			seen[f] = true
+		}
+		ratio := float64(dups) / float64(len(version))
+		// Cross-stream dups reference other streams we haven't ingested,
+		// so within-stream measured dup rate is DupFrac*(1-CrossFrac)
+		// ≈ 0.63, up to run-boundary noise.
+		if ratio < 0.55 || ratio > 0.95 {
+			t.Fatalf("v%d within-stream dup ratio %.2f out of range", v, ratio)
+		}
+	}
+}
+
+func TestCrossStreamDuplicatesResolveAcrossStreams(t *testing.T) {
+	// Ingesting all 4 streams, total distinct fingerprints must be close
+	// to streams × (v0 + newPerVersion × versions).
+	streams := make([]*VersionStream, 4)
+	for s := range streams {
+		cfg := vcfg()
+		cfg.Stream = s
+		streams[s], _ = NewVersionStream(cfg)
+	}
+	seen := map[fp.FP]bool{}
+	total := 0
+	for v := 0; v < 3; v++ {
+		for _, vs := range streams {
+			for _, f := range vs.Version(v) {
+				seen[f] = true
+				total++
+			}
+		}
+	}
+	distinct := len(seen)
+	// v0: 5000 new each; v1,v2: ≈500 new each. 4×6000 = 24000.
+	if distinct < 22000 || distinct > 26000 {
+		t.Fatalf("distinct = %d, want ≈24000 of %d total", distinct, total)
+	}
+	overall := float64(total) / float64(distinct)
+	if overall < 2.0 || overall > 3.2 {
+		t.Fatalf("3-version overall ratio %.2f, want ≈2.5", overall)
+	}
+}
+
+func TestVersionLocality(t *testing.T) {
+	// Consecutive fingerprints should frequently be counter-adjacent:
+	// the duplicate locality the container layout depends on.
+	vs, _ := NewVersionStream(vcfg())
+	v := vs.Version(2)
+	// Recover counters by regenerating: check adjacency statistically via
+	// re-derivation (fingerprints of adjacent counters appear adjacently).
+	adjacent := 0
+	lookup := map[fp.FP]uint64{}
+	for s := 0; s < 4; s++ {
+		base := SubspaceBase(s)
+		for i := uint64(0); i < 8000; i++ {
+			lookup[fp.FromUint64(base+i)] = base + i
+		}
+	}
+	for i := 1; i < len(v); i++ {
+		a, aok := lookup[v[i-1]]
+		b, bok := lookup[v[i]]
+		if aok && bok && b == a+1 {
+			adjacent++
+		}
+	}
+	if frac := float64(adjacent) / float64(len(v)); frac < 0.85 {
+		t.Fatalf("only %.0f%% of stream is counter-adjacent; locality lost", frac*100)
+	}
+}
+
+func TestMonthValidation(t *testing.T) {
+	bad := []MonthConfig{
+		{Clients: 0, Days: 31, AvgChunksPerDay: 100},
+		{Clients: 8, Days: 0, AvgChunksPerDay: 100},
+		{Clients: 8, Days: 31, AvgChunksPerDay: 0},
+		{Clients: 8, Days: 31, AvgChunksPerDay: 100, IntraFrac: 0.5, AdjFrac: 0.5, HistFrac0: 0.1},
+		{Clients: 65, Days: 31, AvgChunksPerDay: 100},
+	}
+	for i, c := range bad {
+		if _, err := NewMonth(c); err == nil {
+			t.Errorf("month config %d accepted", i)
+		}
+	}
+}
+
+func TestMonthProducesAllDays(t *testing.T) {
+	m, err := NewMonth(DefaultMonth(3, 5, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := 0
+	for !m.Done() {
+		cds, err := m.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cds) != 3 {
+			t.Fatalf("day has %d clients", len(cds))
+		}
+		for _, cd := range cds {
+			if len(cd.FPs) == 0 {
+				t.Fatal("empty client day")
+			}
+		}
+		days++
+	}
+	if days != 5 {
+		t.Fatalf("generated %d days, want 5", days)
+	}
+	if _, err := m.Next(); err == nil {
+		t.Fatal("Next past end succeeded")
+	}
+}
+
+func TestMonthDuplicationTargets(t *testing.T) {
+	// Run a full synthetic month and verify the global compression ratio
+	// lands in the neighbourhood of the paper's 9.39:1 (±40%: this is a
+	// trace-shape test, exact ratios are validated in EXPERIMENTS.md).
+	m, err := NewMonth(DefaultMonth(4, 31, 4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[fp.FP]bool{}
+	total, distinct := 0, 0
+	day1Dup := 0.0
+	for !m.Done() {
+		cds, _ := m.Next()
+		dayTotal, dayDup := 0, 0
+		for _, cd := range cds {
+			for _, f := range cd.FPs {
+				total++
+				dayTotal++
+				if seen[f] {
+					dayDup++
+				} else {
+					seen[f] = true
+					distinct++
+				}
+			}
+		}
+		if m.Day() == 2 { // just produced day 1
+			day1Dup = float64(dayDup) / float64(dayTotal)
+		}
+	}
+	overall := float64(total) / float64(distinct)
+	if overall < 5.5 || overall > 13.5 {
+		t.Fatalf("overall compression %.2f, want ≈9.4", overall)
+	}
+	if day1Dup < 0.4 || day1Dup > 0.75 {
+		t.Fatalf("day-1 intra duplication %.2f, want ≈0.6", day1Dup)
+	}
+}
+
+func TestMonthDailyVolumeSpread(t *testing.T) {
+	// The weekly rhythm must give ≈5x dynamic range (150..800 GB around
+	// 583 GB mean in the paper).
+	m, _ := NewMonth(DefaultMonth(1, 14, 10000))
+	minV, maxV, sum := 1<<30, 0, 0
+	days := 0
+	for !m.Done() {
+		cds, _ := m.Next()
+		v := len(cds[0].FPs)
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		sum += v
+		days++
+	}
+	if maxV < 3*minV {
+		t.Fatalf("daily spread %d..%d too flat", minV, maxV)
+	}
+	avg := sum / days
+	if avg < 7000 || avg > 13000 {
+		t.Fatalf("avg daily volume %d, want ≈10000", avg)
+	}
+}
+
+func TestSectionFPs(t *testing.T) {
+	s := Section{Start: 100, Len: 3}
+	fps := s.FPs()
+	for i, f := range fps {
+		if f != fp.FromUint64(100+uint64(i)) {
+			t.Fatalf("section fp %d wrong", i)
+		}
+	}
+}
+
+func BenchmarkVersion(b *testing.B) {
+	vs, _ := NewVersionStream(vcfg())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs.Version(1 + i%5)
+	}
+}
+
+func BenchmarkMonthDay(b *testing.B) {
+	cfg := DefaultMonth(8, 1<<30, 5000)
+	m, _ := NewMonth(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
