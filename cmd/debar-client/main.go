@@ -20,6 +20,9 @@ import (
 func main() {
 	srv := flag.String("server", "localhost:7701", "backup server address")
 	name := flag.String("name", hostname(), "client name")
+	window := flag.Int("window", 0, "fingerprint batches in flight (0 = default)")
+	workers := flag.Int("workers", 0, "fingerprint worker goroutines (0 = default)")
+	batch := flag.Int("batch", 0, "fingerprints per batch (0 = default 256)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) != 3 {
@@ -27,6 +30,11 @@ func main() {
 		os.Exit(2)
 	}
 	c := client.New(*srv, *name)
+	c.Window = *window
+	c.Workers = *workers
+	if *batch > 0 {
+		c.BatchSize = *batch
+	}
 	switch args[0] {
 	case "backup":
 		stats, err := c.Backup(args[1], args[2])

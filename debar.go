@@ -23,7 +23,10 @@ import (
 	"debar/internal/server"
 )
 
-// Client is a DEBAR backup client (see internal/client).
+// Client is a DEBAR backup client (see internal/client). Backup runs a
+// pipelined, windowed data path; the BatchSize, Window and Workers fields
+// tune fingerprints per batch, batches in flight, and the SHA-1 worker
+// pool (zero values select the defaults documented in internal/client).
 type Client = client.Client
 
 // NewClient returns a backup client bound to a backup server address.

@@ -1,0 +1,3 @@
+module debar
+
+go 1.24

@@ -145,6 +145,15 @@ func (c *Chunker) fill() (int, error) {
 // Next returns the next chunk, or io.EOF after the final chunk has been
 // delivered. The returned Data is a fresh copy.
 func (c *Chunker) Next() (Chunk, error) {
+	return c.AppendNext(nil)
+}
+
+// AppendNext is the buffer-reuse variant of Next: the chunk's bytes are
+// appended to dst (which may be nil or a recycled buffer sliced to zero
+// length) and the returned Chunk's Data is the resulting slice. Callers
+// pooling chunk buffers pass buf[:0] to avoid one allocation+copy per
+// chunk; the returned Data never aliases the chunker's internal buffer.
+func (c *Chunker) AppendNext(dst []byte) (Chunk, error) {
 	// Ensure the buffer holds at least one maximal chunk (or all that's left).
 	if avail := c.n - c.pos; avail < c.cfg.Max && !c.eof {
 		if _, err := c.fill(); err != nil {
@@ -158,7 +167,7 @@ func (c *Chunker) Next() (Chunk, error) {
 
 	data := c.buf[c.pos : c.pos+min(avail, c.cfg.Max)]
 	cut := c.boundary(data)
-	out := Chunk{Offset: c.off, Data: append([]byte(nil), data[:cut]...)}
+	out := Chunk{Offset: c.off, Data: append(dst, data[:cut]...)}
 	c.pos += cut
 	c.off += int64(cut)
 	return out, nil
@@ -171,13 +180,13 @@ func (c *Chunker) boundary(data []byte) int {
 		return len(data)
 	}
 	w := c.cfg.Window
-	poly, tab := c.cfg.Poly, c.tab
+	tab := c.tab
 	// Roll the window up to the Min boundary first; anchors inside the
 	// minimum are ignored (paper imposes a 2 KB lower bound).
 	var h Poly
 	start := c.cfg.Min - w // window ending exactly at Min
 	for _, b := range data[start:c.cfg.Min] {
-		h = appendByte(h, b, poly, tab)
+		h = tab.roll(h, b)
 	}
 	if h&c.mask == c.cfg.Break {
 		return c.cfg.Min
@@ -185,7 +194,7 @@ func (c *Chunker) boundary(data []byte) int {
 	for i := c.cfg.Min; i < len(data); i++ {
 		out := data[i-w]
 		h ^= tab.out[out]
-		h = appendByte(h, data[i], poly, tab)
+		h = tab.roll(h, data[i])
 		if h&c.mask == c.cfg.Break {
 			return i + 1
 		}
@@ -209,7 +218,7 @@ func Split(data []byte, cfg Config) ([][]byte, error) {
 		if end > cfg.Min {
 			var h Poly
 			for _, b := range data[cfg.Min-cfg.Window : cfg.Min] {
-				h = appendByte(h, b, cfg.Poly, tab)
+				h = tab.roll(h, b)
 			}
 			if h&mask == cfg.Break {
 				cut = cfg.Min
@@ -217,7 +226,7 @@ func Split(data []byte, cfg Config) ([][]byte, error) {
 				cut = end
 				for i := cfg.Min; i < end; i++ {
 					h ^= tab.out[data[i-cfg.Window]]
-					h = appendByte(h, data[i], cfg.Poly, tab)
+					h = tab.roll(h, data[i])
 					if h&mask == cfg.Break {
 						cut = i + 1
 						break

@@ -62,7 +62,7 @@ func TestRollingMatchesDirectHash(t *testing.T) {
 		if i >= w {
 			h ^= tab.out[data[i-w]]
 		}
-		h = appendByte(h, b, DefaultPoly, tab)
+		h = tab.roll(h, b)
 		if i >= w-1 {
 			want := Hash(data[i+1-w:i+1], DefaultPoly)
 			if h != want {
@@ -82,7 +82,7 @@ func TestRollingMatchesDirectQuick(t *testing.T) {
 			if i >= w {
 				h ^= tab.out[data[i-w]]
 			}
-			h = appendByte(h, b, DefaultPoly, tab)
+			h = tab.roll(h, b)
 		}
 		return h == Hash(data[len(data)-w:], DefaultPoly)
 	}
@@ -349,5 +349,67 @@ func BenchmarkStreaming(b *testing.B) {
 				break
 			}
 		}
+	}
+}
+
+// TestAppendNextMatchesNext verifies the buffer-reuse path produces the
+// identical chunk stream as the copying path, including when the caller
+// recycles one buffer across calls.
+func TestAppendNextMatchesNext(t *testing.T) {
+	data := randBytes(9, 1<<18)
+	cfg := smallCfg()
+
+	want, err := New(bytes.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := New(bytes.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf := make([]byte, 0, cfg.Max)
+	for {
+		w, werr := want.Next()
+		g, gerr := got.AppendNext(buf[:0])
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("Next err %v vs AppendNext err %v", werr, gerr)
+		}
+		if werr != nil {
+			if werr != io.EOF {
+				t.Fatal(werr)
+			}
+			break
+		}
+		if w.Offset != g.Offset || !bytes.Equal(w.Data, g.Data) {
+			t.Fatalf("chunk at %d differs: %d vs %d bytes", w.Offset, len(w.Data), len(g.Data))
+		}
+		buf = g.Data // recycle, as the client worker pool does
+	}
+}
+
+// TestAppendNextGrowsDst checks a too-small dst is reallocated, not
+// overrun, and that nil dst behaves like Next.
+func TestAppendNextGrowsDst(t *testing.T) {
+	data := randBytes(10, 1<<16)
+	cfg := smallCfg()
+	ch, err := New(bytes.NewReader(data), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var whole []byte
+	small := make([]byte, 0, 1)
+	for {
+		c, err := ch.AppendNext(small[:0])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		whole = append(whole, c.Data...)
+	}
+	if !bytes.Equal(whole, data) {
+		t.Fatal("AppendNext chunks do not reassemble input")
 	}
 }

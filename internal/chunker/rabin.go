@@ -94,13 +94,15 @@ func gcdPoly(a, b Poly) Poly {
 // tables holds the precomputed per-byte tables for one polynomial and
 // window size, shared by all chunkers with that configuration.
 type tables struct {
-	mod [256]Poly // reduce the high byte after an 8-bit shift
-	out [256]Poly // contribution of a byte leaving the window
+	mod   [256]Poly // reduce the high byte after an 8-bit shift
+	out   [256]Poly // contribution of a byte leaving the window
+	shift uint      // poly.Deg(): right-shift selecting the overflow byte
 }
 
 func buildTables(poly Poly, window int) *tables {
 	t := new(tables)
 	k := uint(poly.Deg())
+	t.shift = k
 	// mod[b] reduces (b << k) and simultaneously clears the raw high bits,
 	// so appendByte stays below degree k with one xor.
 	for b := 0; b < 256; b++ {
@@ -109,20 +111,23 @@ func buildTables(poly Poly, window int) *tables {
 	// out[b] is the fingerprint contribution of byte b after it has been
 	// shifted through the whole window: b * x^(8*window) mod poly.
 	for b := 0; b < 256; b++ {
-		h := appendByte(0, byte(b), poly, t)
+		h := t.roll(0, byte(b))
 		for i := 0; i < window-1; i++ {
-			h = appendByte(h, 0, poly, t)
+			h = t.roll(h, 0)
 		}
 		t.out[b] = h
 	}
 	return t
 }
 
-func appendByte(h Poly, b byte, poly Poly, t *tables) Poly {
-	h <<= 8
-	h |= Poly(b)
-	return h ^ t.mod[h>>uint(poly.Deg())]
+// roll shifts one byte into the fingerprint. This runs once per input
+// byte, so it must stay branch-free and allocation-free: the polynomial
+// degree is precomputed into t.shift rather than re-derived per call.
+func (t *tables) roll(h Poly, b byte) Poly {
+	h = h<<8 | Poly(b)
+	return h ^ t.mod[h>>t.shift]
 }
+
 
 // Hash computes the (non-rolling) Rabin fingerprint of data under poly.
 // It is used by tests to validate the rolling computation and is exported

@@ -58,8 +58,23 @@ func OpenFile(path string, disk *disksim.Disk) (*Log, error) {
 }
 
 // Append adds one <F, D(F)> group. size declares the payload length; data
-// may be nil only in accounting mode. Charges a sequential write.
+// may be nil only in accounting mode. Charges a sequential write. The log
+// takes a private copy of data; use AppendOwned when the caller hands
+// over ownership and the copy can be skipped.
 func (l *Log) Append(f fp.FP, size uint32, data []byte) error {
+	return l.append(f, size, data, false)
+}
+
+// AppendOwned is Append for callers transferring ownership of data: the
+// log retains the slice directly (memory-backed logs) instead of copying
+// it. The caller must not modify data afterwards. The server's dedup-1
+// path uses this to land network receive buffers in the log with zero
+// copies.
+func (l *Log) AppendOwned(f fp.FP, size uint32, data []byte) error {
+	return l.append(f, size, data, true)
+}
+
+func (l *Log) append(f fp.FP, size uint32, data []byte, owned bool) error {
 	if !l.metaOnly && len(data) != int(size) {
 		return fmt.Errorf("chunklog: declared size %d != payload %d", size, len(data))
 	}
@@ -78,7 +93,11 @@ func (l *Log) Append(f fp.FP, size uint32, data []byte) error {
 	} else {
 		r := Record{FP: f, Size: size}
 		if !l.metaOnly {
-			r.Data = append([]byte(nil), data...)
+			if owned {
+				r.Data = data
+			} else {
+				r.Data = append([]byte(nil), data...)
+			}
 		}
 		l.recs = append(l.recs, r)
 	}

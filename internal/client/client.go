@@ -4,21 +4,53 @@
 // with the backup server's preliminary filter, transfers only the chunks
 // the server asks for, and sends file metadata and indices. Restore
 // retrieves file indices and chunks back from the server.
+//
+// # Pipelined backup
+//
+// Backup is fully pipelined rather than stop-and-wait: a reader
+// goroutine anchors files into recycled chunk buffers, a pool of Workers
+// goroutines computes SHA-1 fingerprints in parallel, and a windowed
+// dispatcher keeps up to Window fingerprint batches (of BatchSize
+// fingerprints each) in flight on one connection, with decoupled send
+// and receive goroutines. Disk reads, hashing and network round-trips
+// overlap; verdicts are matched to their batches by sequence number.
+// See pipeline.go for the stage layout. The knobs:
+//
+//   - BatchSize: fingerprints per FPBatch (default 256, as in the paper's
+//     batch granularity of dedup-1);
+//   - Window: FPBatches in flight before the dispatcher blocks
+//     (default 4 — enough to hide one round-trip at loopback and LAN
+//     latencies without buffering unbounded chunk data);
+//   - Workers: fingerprinting goroutines (default GOMAXPROCS, capped
+//     at 8 — SHA-1 saturates the NIC long before that on modern cores).
+//
+// Memory in flight is bounded by roughly Window × BatchSize × the
+// expected chunk size.
 package client
 
 import (
-	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 
 	"debar/internal/chunker"
-	"debar/internal/fp"
 	"debar/internal/proto"
 )
+
+// defaultWindow is the default number of FPBatches kept in flight.
+const defaultWindow = 4
+
+// defaultWorkers sizes the fingerprint worker pool when Workers is 0.
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
 
 // Client is a backup client bound to one backup server.
 type Client struct {
@@ -26,6 +58,8 @@ type Client struct {
 	Name       string
 	Chunking   chunker.Config
 	BatchSize  int // fingerprints per FPBatch (default 256)
+	Window     int // FPBatches in flight (default 4)
+	Workers    int // fingerprint worker goroutines (default GOMAXPROCS, max 8)
 }
 
 // New returns a client for the given backup server.
@@ -71,11 +105,10 @@ func (c *Client) Backup(jobName, dir string) (BackupStats, error) {
 	}
 	sort.Strings(paths)
 
-	for _, path := range paths {
-		if err := c.backupFile(conn, sess, dir, path); err != nil {
-			return stats, err
-		}
-		stats.Files++
+	files, err := c.runPipeline(conn, sess, dir, paths)
+	stats.Files = files
+	if err != nil {
+		return stats, err
 	}
 
 	if err := conn.Send(proto.BackupEnd{SessionID: sess}); err != nil {
@@ -111,114 +144,6 @@ func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
 	default:
 		return 0, fmt.Errorf("client: unexpected BackupStart reply %T", msg)
 	}
-}
-
-// backupFile anchors, fingerprints and ships one file (§3.2's metadata
-// backup, anchoring, chunk fingerprinting and content backup steps).
-func (c *Client) backupFile(conn *proto.Conn, sess uint64, root, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("client: %w", err)
-	}
-	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		return err
-	}
-
-	ch, err := chunker.New(f, c.Chunking)
-	if err != nil {
-		return err
-	}
-	rel, err := filepath.Rel(root, path)
-	if err != nil {
-		rel = path
-	}
-	entry := proto.FileEntry{Path: rel, Mode: uint32(info.Mode()), Size: info.Size()}
-
-	batchFPs := make([]fp.FP, 0, c.batch())
-	batchSizes := make([]uint32, 0, c.batch())
-	batchData := make([][]byte, 0, c.batch())
-
-	flush := func() error {
-		if len(batchFPs) == 0 {
-			return nil
-		}
-		if err := conn.Send(proto.FPBatch{SessionID: sess, FPs: batchFPs, Sizes: batchSizes}); err != nil {
-			return err
-		}
-		msg, err := conn.Recv()
-		if err != nil {
-			return err
-		}
-		verdicts, ok := msg.(proto.FPVerdicts)
-		if !ok {
-			return fmt.Errorf("client: unexpected FPBatch reply %T", msg)
-		}
-		if len(verdicts.Need) != len(batchFPs) {
-			return fmt.Errorf("client: verdict length %d != batch %d", len(verdicts.Need), len(batchFPs))
-		}
-		var needFPs []fp.FP
-		var needData [][]byte
-		for i, need := range verdicts.Need {
-			if need {
-				needFPs = append(needFPs, batchFPs[i])
-				needData = append(needData, batchData[i])
-			}
-		}
-		if len(needFPs) > 0 {
-			if err := conn.Send(proto.ChunkBatch{SessionID: sess, FPs: needFPs, Data: needData}); err != nil {
-				return err
-			}
-			msg, err := conn.Recv()
-			if err != nil {
-				return err
-			}
-			if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
-				return fmt.Errorf("client: chunk transfer refused: %+v", msg)
-			}
-		}
-		batchFPs = batchFPs[:0]
-		batchSizes = batchSizes[:0]
-		batchData = batchData[:0]
-		return nil
-	}
-
-	for {
-		chunk, err := ch.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return fmt.Errorf("client: chunking %s: %w", path, err)
-		}
-		h := fp.New(chunk.Data)
-		entry.Chunks = append(entry.Chunks, h)
-		entry.Sizes = append(entry.Sizes, uint32(len(chunk.Data)))
-		batchFPs = append(batchFPs, h)
-		batchSizes = append(batchSizes, uint32(len(chunk.Data)))
-		batchData = append(batchData, chunk.Data)
-		if len(batchFPs) >= c.batch() {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return err
-	}
-
-	if err := conn.Send(proto.FileMeta{SessionID: sess, Entry: entry}); err != nil {
-		return err
-	}
-	msg, err := conn.Recv()
-	if err != nil {
-		return err
-	}
-	if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
-		return fmt.Errorf("client: FileMeta refused: %+v", msg)
-	}
-	return nil
 }
 
 func (c *Client) batch() int {

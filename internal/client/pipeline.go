@@ -1,0 +1,475 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"debar/internal/chunker"
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+// The backup pipeline decouples the four costs the stop-and-wait path
+// paid in sequence — disk read, CDC anchoring, SHA-1 fingerprinting, and
+// the network round-trip — into overlapping stages:
+//
+//	reader ──chunks──▶ hash workers ──(reordered by seq)──▶ dispatcher
+//	                                                            │ window of K batches
+//	                                   send goroutine ◀─────────┤
+//	                                   recv goroutine ──verdicts/acks──▶ reply handlers
+//
+// One reader goroutine anchors files into pooled chunk buffers
+// (chunker.AppendNext, no per-chunk allocation); a worker pool computes
+// SHA-1 fingerprints; the dispatcher restores stream order by sequence
+// number, accumulates FPBatches, and keeps up to Window of them in
+// flight over a single connection driven by decoupled send and receive
+// goroutines. Verdicts are matched to batches by the sequence number the
+// server echoes; chunk payloads for positive verdicts are shipped
+// without blocking the batches behind them. Per-file FileEntry ordering
+// is preserved: items are processed in reader order, so FileMeta
+// messages leave in file order with each file's complete chunk index.
+
+// chunkBufPool recycles chunk payload buffers across files and runs.
+var chunkBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+func getChunkBuf() *[]byte { return chunkBufPool.Get().(*[]byte) }
+
+func putChunkBuf(bp *[]byte) {
+	if cap(*bp) > 1<<20 {
+		return
+	}
+	*bp = (*bp)[:0]
+	chunkBufPool.Put(bp)
+}
+
+// item is one unit flowing through the pipeline, ordered by seq.
+type item struct {
+	seq  uint64
+	kind int
+	// kindFileStart:
+	entry proto.FileEntry
+	// kindChunk:
+	buf *[]byte // pooled backing buffer; *buf is the chunk payload
+	h   fp.FP   // filled in by a hash worker
+}
+
+const (
+	kindFileStart = iota
+	kindChunk
+	kindFileEnd
+)
+
+// request pairs an outgoing message with the handler for its reply.
+// Because the server processes one connection's messages in order and
+// replies in order, handler invocation order equals send order.
+type request struct {
+	msg     any
+	onReply func(any) error
+}
+
+// fpBatch is one accumulating (then in-flight) fingerprint batch.
+type fpBatch struct {
+	seq   uint64
+	fps   []fp.FP
+	sizes []uint32
+	bufs  []*[]byte
+}
+
+func (b *fpBatch) recycle() {
+	for _, bp := range b.bufs {
+		putChunkBuf(bp)
+	}
+}
+
+// runPipeline backs up paths over conn with the windowed concurrent data
+// path. It returns the number of files completed and the first error.
+func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths []string) (int, error) {
+	window := c.window()
+	workers := c.workers()
+
+	cancel := make(chan struct{})
+	var once sync.Once
+	var firstErr error
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			close(cancel)
+		})
+	}
+
+	hashCh := make(chan *item, workers*2)
+	resultCh := make(chan *item, workers*2+16)
+	sendCh := make(chan request, window)
+	expectCh := make(chan func(any) error, window)
+	slots := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		slots <- struct{}{}
+	}
+
+	// Reader: walk the file list, anchor into pooled buffers, emit
+	// ordered items. Chunks detour through the hash workers; file
+	// boundary markers go straight to the dispatcher.
+	var pipeWG sync.WaitGroup
+	pipeWG.Add(1)
+	go func() {
+		defer pipeWG.Done()
+		defer close(hashCh)
+		var seq uint64
+		emit := func(it *item) bool {
+			select {
+			case resultCh <- it:
+				return true
+			case <-cancel:
+				return false
+			}
+		}
+		for _, path := range paths {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(fmt.Errorf("client: %w", err))
+				return
+			}
+			info, err := f.Stat()
+			if err != nil {
+				f.Close()
+				fail(err)
+				return
+			}
+			ch, err := chunker.New(f, c.Chunking)
+			if err != nil {
+				f.Close()
+				fail(err)
+				return
+			}
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				rel = path
+			}
+			if !emit(&item{seq: seq, kind: kindFileStart, entry: proto.FileEntry{
+				Path: rel, Mode: uint32(info.Mode()), Size: info.Size(),
+			}}) {
+				f.Close()
+				return
+			}
+			seq++
+			for {
+				bp := getChunkBuf()
+				chunk, err := ch.AppendNext((*bp)[:0])
+				if errors.Is(err, io.EOF) {
+					putChunkBuf(bp)
+					break
+				}
+				if err != nil {
+					putChunkBuf(bp)
+					f.Close()
+					fail(fmt.Errorf("client: chunking %s: %w", path, err))
+					return
+				}
+				*bp = chunk.Data
+				it := &item{seq: seq, kind: kindChunk, buf: bp}
+				seq++
+				select {
+				case hashCh <- it:
+				case <-cancel:
+					putChunkBuf(bp)
+					f.Close()
+					return
+				}
+			}
+			f.Close()
+			if !emit(&item{seq: seq, kind: kindFileEnd}) {
+				return
+			}
+			seq++
+		}
+	}()
+
+	// Hash workers: SHA-1 over each chunk, out of order.
+	for i := 0; i < workers; i++ {
+		pipeWG.Add(1)
+		go func() {
+			defer pipeWG.Done()
+			for it := range hashCh {
+				it.h = fp.New(*it.buf)
+				select {
+				case resultCh <- it:
+				case <-cancel:
+					putChunkBuf(it.buf)
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		pipeWG.Wait()
+		close(resultCh)
+	}()
+
+	// Send goroutine: the single writer on conn. After each send it
+	// registers the reply handler, keeping the expectation FIFO in wire
+	// order.
+	go func() {
+		defer close(expectCh)
+		for {
+			var req request
+			var ok bool
+			select {
+			case req, ok = <-sendCh:
+				if !ok {
+					return
+				}
+			case <-cancel:
+				return
+			}
+			if err := conn.Send(req.msg); err != nil {
+				fail(err)
+				return
+			}
+			select {
+			case expectCh <- req.onReply:
+			case <-cancel:
+				return
+			}
+		}
+	}()
+
+	// Recv goroutine: the single reader on conn, pairing each reply with
+	// the next expected handler.
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for h := range expectCh {
+			msg, err := conn.Recv()
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := h(msg); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	// Dispatcher (this goroutine): restore seq order, build FileEntries,
+	// cut batches, and manage the window.
+	acquire := func() bool {
+		select {
+		case <-slots:
+			return true
+		case <-cancel:
+			return false
+		}
+	}
+	release := func() { slots <- struct{}{} }
+	enqueue := func(req request) bool {
+		// Never blocks while the slot invariant holds (≤ window requests
+		// outstanding, sendCh capacity == window); cancel is a safety net.
+		select {
+		case sendCh <- req:
+			return true
+		case <-cancel:
+			return false
+		}
+	}
+
+	var (
+		cur      *proto.FileEntry
+		bat      fpBatch
+		batchSeq uint64
+		files    int
+	)
+
+	ackHandler := func(what string) func(any) error {
+		return func(msg any) error {
+			if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+				return fmt.Errorf("client: %s refused: %+v", what, msg)
+			}
+			release()
+			return nil
+		}
+	}
+
+	// dispatchBatch sends the accumulated FPBatch; its verdict handler
+	// ships the needed chunks on the same window slot.
+	dispatchBatch := func() bool {
+		if len(bat.fps) == 0 {
+			return true
+		}
+		b := bat
+		bat = fpBatch{}
+		b.seq = batchSeq
+		batchSeq++
+		if !acquire() {
+			b.recycle()
+			return false
+		}
+		req := request{
+			msg: proto.FPBatch{SessionID: sess, Seq: b.seq, FPs: b.fps, Sizes: b.sizes},
+			onReply: func(msg any) error {
+				v, ok := msg.(proto.FPVerdicts)
+				if !ok {
+					return fmt.Errorf("client: unexpected FPBatch reply %T", msg)
+				}
+				if v.Seq != b.seq {
+					return fmt.Errorf("client: verdicts for batch %d, expected %d", v.Seq, b.seq)
+				}
+				if len(v.Need) != len(b.fps) {
+					return fmt.Errorf("client: verdict length %d != batch %d", len(v.Need), len(b.fps))
+				}
+				var needFPs []fp.FP
+				var needData [][]byte
+				var needBufs []*[]byte
+				for i, need := range v.Need {
+					if need {
+						needFPs = append(needFPs, b.fps[i])
+						needData = append(needData, *b.bufs[i])
+						needBufs = append(needBufs, b.bufs[i])
+					} else {
+						putChunkBuf(b.bufs[i])
+					}
+				}
+				if len(needFPs) == 0 {
+					release()
+					return nil
+				}
+				// The window slot transfers from the FPBatch to its
+				// ChunkBatch; the Ack handler releases it.
+				creq := request{
+					msg: proto.ChunkBatch{SessionID: sess, FPs: needFPs, Data: needData},
+					onReply: func(msg any) error {
+						if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+							return fmt.Errorf("client: chunk transfer refused: %+v", msg)
+						}
+						for _, bp := range needBufs {
+							putChunkBuf(bp)
+						}
+						release()
+						return nil
+					},
+				}
+				select {
+				case sendCh <- creq:
+				case <-cancel:
+				}
+				return nil
+			},
+		}
+		if !enqueue(req) {
+			release()
+			b.recycle()
+			return false
+		}
+		return true
+	}
+
+	process := func(it *item) bool {
+		switch it.kind {
+		case kindFileStart:
+			e := it.entry
+			cur = &e
+		case kindChunk:
+			size := uint32(len(*it.buf))
+			cur.Chunks = append(cur.Chunks, it.h)
+			cur.Sizes = append(cur.Sizes, size)
+			bat.fps = append(bat.fps, it.h)
+			bat.sizes = append(bat.sizes, size)
+			bat.bufs = append(bat.bufs, it.buf)
+			if len(bat.fps) >= c.batch() {
+				return dispatchBatch()
+			}
+		case kindFileEnd:
+			if !dispatchBatch() {
+				return false
+			}
+			if !acquire() {
+				return false
+			}
+			if !enqueue(request{
+				msg:     proto.FileMeta{SessionID: sess, Entry: *cur},
+				onReply: ackHandler("FileMeta"),
+			}) {
+				release()
+				return false
+			}
+			files++
+			cur = nil
+		}
+		return true
+	}
+
+	reorder := make(map[uint64]*item)
+	var next uint64
+loop:
+	for {
+		select {
+		case it, ok := <-resultCh:
+			if !ok {
+				break loop
+			}
+			reorder[it.seq] = it
+			for {
+				n, ok := reorder[next]
+				if !ok {
+					break
+				}
+				delete(reorder, next)
+				next++
+				if !process(n) {
+					break loop
+				}
+			}
+		case <-cancel:
+			break loop
+		}
+	}
+
+	// Drain the window: once every slot is back, every reply has been
+	// processed and no handler can touch sendCh again.
+	for i := 0; i < window; i++ {
+		if !acquire() {
+			// Cancelled: goroutines unwind through their cancel selects
+			// and the caller's conn.Close; sendCh must stay open because
+			// a reply handler may still be selecting on it.
+			return files, firstErr
+		}
+	}
+	close(sendCh) // quiescent: provably no writer left
+	select {
+	case <-recvDone:
+	case <-cancel:
+	}
+
+	select {
+	case <-cancel:
+		return files, firstErr
+	default:
+		return files, nil
+	}
+}
+
+// window returns the number of FPBatches kept in flight.
+func (c *Client) window() int {
+	if c.Window <= 0 {
+		return defaultWindow
+	}
+	return c.Window
+}
+
+// workers returns the size of the fingerprinting worker pool.
+func (c *Client) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	n := defaultWorkers()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,29 +1,99 @@
 // Package proto defines the wire protocol spoken between DEBAR's backup
-// clients, backup servers and the director (paper §2, §3). Messages are
-// gob-encoded over TCP (or any io.ReadWriter); each connection carries a
-// bidirectional stream of the types registered here.
+// clients, backup servers and the director (paper §2, §3).
+//
+// # Wire format
+//
+// Every message travels in one length-prefixed frame:
+//
+//	+-----+----------------+----------------------+
+//	| tag | length (u32 BE)| payload (length bytes)|
+//	+-----+----------------+----------------------+
+//
+// The one-byte tag selects the payload codec. The hot data-path messages
+// (FPBatch, FPVerdicts, ChunkBatch, Ack, RestoreData) use compact
+// hand-rolled binary layouts (tags 1–5) with pooled encode/decode buffers;
+// chunk payloads are sliced out of the receive buffer without copying.
+// Every other (control-plane) message is carried as a self-contained gob
+// stream under tag 0, so adding new control messages never requires a new
+// binary codec: unknown structs simply fall back to gob. Old and new peers
+// interoperate as long as both frame their messages — a tag-0 frame is
+// decodable by any peer with the types registered below.
+//
+// Conn.Send and Conn.Recv are each safe for use by one goroutine at a
+// time; sends and receives may proceed concurrently with each other,
+// which is what the client's pipelined backup path relies on (decoupled
+// send and receive goroutines over one connection).
 package proto
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"debar/internal/fp"
 )
 
-// Conn wraps a transport with gob encoding of protocol messages.
+// Frame tags. Tag 0 is the gob fallback for control-plane messages; tags
+// 1–5 are the binary codecs for the hot data-path messages.
+const (
+	tagGob byte = iota
+	tagFPBatch
+	tagFPVerdicts
+	tagChunkBatch
+	tagAck
+	tagRestoreData
+)
+
+// MaxFrame bounds a frame payload (1 GB): a defence against corrupt or
+// hostile length prefixes, far above any legitimate batch. Senders of
+// potentially-huge messages (whole-file RestoreData) must check their
+// payload against it and answer with a protocol-level error instead of
+// letting the send fail mid-connection.
+const MaxFrame = 1 << 30
+
+// bufPool recycles encode/decode scratch buffers across connections.
+var bufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 64<<10); return &b },
+}
+
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > 8<<20 {
+		return // don't let one huge batch pin memory in the pool
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// Conn wraps a transport with framed encoding of protocol messages.
 type Conn struct {
-	enc *gob.Encoder
-	dec *gob.Decoder
+	wmu sync.Mutex
+	bw  *bufio.Writer
+	rmu sync.Mutex
+	br  *bufio.Reader
 	raw io.ReadWriteCloser
 }
 
 // NewConn wraps an established transport.
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{enc: gob.NewEncoder(rw), dec: gob.NewDecoder(rw), raw: rw}
+	return &Conn{
+		bw:  bufio.NewWriterSize(rw, 64<<10),
+		br:  bufio.NewReaderSize(rw, 64<<10),
+		raw: rw,
+	}
 }
 
 // Dial connects to a DEBAR endpoint.
@@ -35,25 +105,333 @@ func Dial(addr string) (*Conn, error) {
 	return NewConn(c), nil
 }
 
-// Send writes one message.
+// Send writes one message. Safe to call concurrently with Recv (but not
+// with another Send on the same Conn from a second goroutine; a mutex
+// serialises writers regardless).
 func (c *Conn) Send(msg any) error {
-	if err := c.enc.Encode(&msg); err != nil {
+	bp := getBuf(0)
+	defer putBuf(bp)
+	buf := (*bp)[:0]
+
+	var tag byte
+	switch m := msg.(type) {
+	case FPBatch:
+		tag, buf = tagFPBatch, m.encode(buf)
+	case FPVerdicts:
+		tag, buf = tagFPVerdicts, m.encode(buf)
+	case ChunkBatch:
+		tag, buf = tagChunkBatch, m.encode(buf)
+	case Ack:
+		tag, buf = tagAck, m.encode(buf)
+	case RestoreData:
+		tag, buf = tagRestoreData, m.encode(buf)
+	default:
+		var gb bytes.Buffer
+		if err := gob.NewEncoder(&gb).Encode(&msg); err != nil {
+			return fmt.Errorf("proto: send: %w", err)
+		}
+		tag, buf = tagGob, gb.Bytes()
+	}
+	if tag != tagGob {
+		*bp = buf // retain the grown buffer for the pool
+	}
+
+	if len(buf) > MaxFrame {
+		return fmt.Errorf("proto: send: frame of %d bytes exceeds limit", len(buf))
+	}
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(buf)))
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("proto: send: %w", err)
+	}
+	if _, err := c.bw.Write(buf); err != nil {
+		return fmt.Errorf("proto: send: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("proto: send: %w", err)
 	}
 	return nil
 }
 
-// Recv reads the next message.
+// Recv reads the next message. Safe to call concurrently with Send.
 func (c *Conn) Recv() (any, error) {
-	var msg any
-	if err := c.dec.Decode(&msg); err != nil {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return nil, err
 	}
-	return msg, nil
+	tag := hdr[0]
+	n := int(binary.BigEndian.Uint32(hdr[1:]))
+	if n > MaxFrame {
+		return nil, fmt.Errorf("proto: recv: frame of %d bytes exceeds limit", n)
+	}
+
+	switch tag {
+	case tagChunkBatch, tagRestoreData:
+		// Zero-copy path: the payload buffer's ownership passes to the
+		// decoded message, whose Data slices alias it — so it is NOT
+		// pooled.
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			return nil, fmt.Errorf("proto: recv: %w", err)
+		}
+		if tag == tagChunkBatch {
+			var m ChunkBatch
+			if err := m.decode(payload); err != nil {
+				return nil, err
+			}
+			return m, nil
+		}
+		var m RestoreData
+		if err := m.decode(payload); err != nil {
+			return nil, err
+		}
+		return m, nil
+	default:
+		bp := getBuf(n)
+		defer putBuf(bp)
+		payload := (*bp)[:n]
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			return nil, fmt.Errorf("proto: recv: %w", err)
+		}
+		switch tag {
+		case tagFPBatch:
+			var m FPBatch
+			err := m.decode(payload)
+			return m, err
+		case tagFPVerdicts:
+			var m FPVerdicts
+			err := m.decode(payload)
+			return m, err
+		case tagAck:
+			var m Ack
+			err := m.decode(payload)
+			return m, err
+		case tagGob:
+			var msg any
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&msg); err != nil {
+				return nil, fmt.Errorf("proto: recv: %w", err)
+			}
+			return msg, nil
+		default:
+			return nil, fmt.Errorf("proto: recv: unknown frame tag %#x", tag)
+		}
+	}
 }
 
 // Close closes the transport.
 func (c *Conn) Close() error { return c.raw.Close() }
+
+// errShort reports a truncated binary payload.
+func errShort(what string) error {
+	return fmt.Errorf("proto: recv: truncated %s payload", what)
+}
+
+// ---- binary codecs (hot data-path messages) ----
+
+func (m FPBatch) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, m.SessionID)
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.FPs)))
+	for i := range m.FPs {
+		buf = append(buf, m.FPs[i][:]...)
+	}
+	for _, s := range m.Sizes {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	return buf
+}
+
+func (m *FPBatch) decode(p []byte) error {
+	if len(p) < 20 {
+		return errShort("FPBatch")
+	}
+	m.SessionID = binary.BigEndian.Uint64(p)
+	m.Seq = binary.BigEndian.Uint64(p[8:])
+	n := int(binary.BigEndian.Uint32(p[16:]))
+	p = p[20:]
+	if len(p) != n*(fp.Size+4) {
+		return errShort("FPBatch")
+	}
+	m.FPs = make([]fp.FP, n)
+	for i := range m.FPs {
+		copy(m.FPs[i][:], p[i*fp.Size:])
+	}
+	p = p[n*fp.Size:]
+	m.Sizes = make([]uint32, n)
+	for i := range m.Sizes {
+		m.Sizes[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	return nil
+}
+
+func (m FPVerdicts) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Need)))
+	var acc byte
+	for i, need := range m.Need {
+		if need {
+			acc |= 1 << (i & 7)
+		}
+		if i&7 == 7 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if len(m.Need)&7 != 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+func (m *FPVerdicts) decode(p []byte) error {
+	if len(p) < 12 {
+		return errShort("FPVerdicts")
+	}
+	m.Seq = binary.BigEndian.Uint64(p)
+	n := int(binary.BigEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) != (n+7)/8 {
+		return errShort("FPVerdicts")
+	}
+	m.Need = make([]bool, n)
+	for i := range m.Need {
+		m.Need[i] = p[i>>3]&(1<<(i&7)) != 0
+	}
+	return nil
+}
+
+func (m ChunkBatch) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, m.SessionID)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.FPs)))
+	for i := range m.FPs {
+		buf = append(buf, m.FPs[i][:]...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data[i])))
+	}
+	for _, d := range m.Data {
+		buf = append(buf, d...)
+	}
+	return buf
+}
+
+func (m *ChunkBatch) decode(p []byte) error {
+	if len(p) < 12 {
+		return errShort("ChunkBatch")
+	}
+	m.SessionID = binary.BigEndian.Uint64(p)
+	n := int(binary.BigEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) < n*(fp.Size+4) {
+		return errShort("ChunkBatch")
+	}
+	m.FPs = make([]fp.FP, n)
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		off := i * (fp.Size + 4)
+		copy(m.FPs[i][:], p[off:])
+		sizes[i] = int(binary.BigEndian.Uint32(p[off+fp.Size:]))
+	}
+	p = p[n*(fp.Size+4):]
+	m.Data = make([][]byte, n)
+	for i, sz := range sizes {
+		if len(p) < sz {
+			return errShort("ChunkBatch")
+		}
+		m.Data[i] = p[:sz:sz] // aliases the receive buffer: zero copy
+		p = p[sz:]
+	}
+	if len(p) != 0 {
+		return errShort("ChunkBatch")
+	}
+	return nil
+}
+
+func (m Ack) encode(buf []byte) []byte {
+	var ok byte
+	if m.OK {
+		ok = 1
+	}
+	buf = append(buf, ok)
+	return append(buf, m.Err...)
+}
+
+func (m *Ack) decode(p []byte) error {
+	if len(p) < 1 {
+		return errShort("Ack")
+	}
+	m.OK = p[0] != 0
+	m.Err = string(p[1:])
+	return nil
+}
+
+func appendFileEntry(buf []byte, e FileEntry) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Path)))
+	buf = append(buf, e.Path...)
+	buf = binary.BigEndian.AppendUint32(buf, e.Mode)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(e.Size))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Chunks)))
+	for i := range e.Chunks {
+		buf = append(buf, e.Chunks[i][:]...)
+	}
+	for _, s := range e.Sizes {
+		buf = binary.BigEndian.AppendUint32(buf, s)
+	}
+	return buf
+}
+
+func decodeFileEntry(p []byte) (FileEntry, []byte, error) {
+	var e FileEntry
+	if len(p) < 2 {
+		return e, nil, errShort("FileEntry")
+	}
+	pl := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < pl+16 {
+		return e, nil, errShort("FileEntry")
+	}
+	e.Path = string(p[:pl])
+	p = p[pl:]
+	e.Mode = binary.BigEndian.Uint32(p)
+	e.Size = int64(binary.BigEndian.Uint64(p[4:]))
+	n := int(binary.BigEndian.Uint32(p[12:]))
+	p = p[16:]
+	if len(p) < n*(fp.Size+4) {
+		return e, nil, errShort("FileEntry")
+	}
+	e.Chunks = make([]fp.FP, n)
+	for i := range e.Chunks {
+		copy(e.Chunks[i][:], p[i*fp.Size:])
+	}
+	p = p[n*fp.Size:]
+	e.Sizes = make([]uint32, n)
+	for i := range e.Sizes {
+		e.Sizes[i] = binary.BigEndian.Uint32(p[i*4:])
+	}
+	return e, p[n*4:], nil
+}
+
+func (m RestoreData) encode(buf []byte) []byte {
+	buf = appendFileEntry(buf, m.Entry)
+	return append(buf, m.Data...)
+}
+
+func (m *RestoreData) decode(p []byte) error {
+	e, rest, err := decodeFileEntry(p)
+	if err != nil {
+		return err
+	}
+	m.Entry = e
+	m.Data = rest // aliases the receive buffer: zero copy
+	return nil
+}
+
+// ---- message types ----
 
 // FileEntry is one file's metadata and index: the sequence of fingerprints
 // referencing the file's chunks (§3.1: "a file index ... is a sequence of
@@ -79,15 +457,21 @@ type BackupStartOK struct {
 	SessionID uint64
 }
 
-// FPBatch offers a batch of fingerprints for preliminary filtering.
+// FPBatch offers a batch of fingerprints for preliminary filtering. Seq
+// numbers the batch within its session's stream; the server echoes it in
+// the FPVerdicts reply so a pipelining client with several batches in
+// flight can match verdicts to batches.
 type FPBatch struct {
 	SessionID uint64
+	Seq       uint64
 	FPs       []fp.FP
 	Sizes     []uint32
 }
 
-// FPVerdicts answers which offered chunks must be transferred.
+// FPVerdicts answers which offered chunks must be transferred. Seq echoes
+// the FPBatch it answers.
 type FPVerdicts struct {
+	Seq  uint64
 	Need []bool
 }
 

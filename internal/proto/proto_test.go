@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"io"
 	"net"
+	"reflect"
 	"testing"
 
 	"debar/internal/fp"
@@ -107,6 +108,204 @@ func TestRoundTripAllMessages(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestBinaryCodecRoundTrip exercises the hand-rolled binary codecs
+// (tags 1–5) edge cases the generic echo test doesn't reach.
+func TestBinaryCodecRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	var fps []fp.FP
+	var sizes []uint32
+	var data [][]byte
+	for i := 0; i < 300; i++ { // >256: multi-byte bitmap, big batch
+		fps = append(fps, fp.FromUint64(uint64(i)))
+		sizes = append(sizes, uint32(i*7))
+		data = append(data, bytes.Repeat([]byte{byte(i)}, i%97))
+	}
+	need := make([]bool, 300)
+	for i := range need {
+		need[i] = i%3 == 0
+	}
+
+	msgs := []any{
+		FPBatch{SessionID: 5, Seq: 42, FPs: fps, Sizes: sizes},
+		FPBatch{SessionID: 5, Seq: 43}, // empty batch
+		FPVerdicts{Seq: 42, Need: need},
+		FPVerdicts{Seq: 43, Need: []bool{}},
+		ChunkBatch{SessionID: 5, FPs: fps, Data: data},
+		ChunkBatch{SessionID: 5},
+		Ack{OK: true},
+		Ack{OK: false, Err: "some failure"},
+		RestoreData{
+			Entry: FileEntry{Path: "a/b", Mode: 0o600, Size: 9,
+				Chunks: fps[:2], Sizes: sizes[:2]},
+			Data: []byte("nine byte"),
+		},
+		RestoreData{}, // all-zero entry
+	}
+
+	go func() {
+		for range msgs {
+			m, err := b.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.Send(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for _, want := range msgs {
+		if err := a.Send(want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(got), normalize(want)) {
+			t.Fatalf("round trip of %T:\n got %+v\nwant %+v", want, got, want)
+		}
+	}
+}
+
+// normalize maps nil and empty slices onto each other: the binary codecs
+// decode an empty list as an empty (non-nil) slice.
+func normalize(m any) any {
+	switch v := m.(type) {
+	case FPBatch:
+		if len(v.FPs) == 0 {
+			v.FPs, v.Sizes = nil, nil
+		}
+		return v
+	case FPVerdicts:
+		if len(v.Need) == 0 {
+			v.Need = nil
+		}
+		return v
+	case ChunkBatch:
+		if len(v.FPs) == 0 {
+			v.FPs, v.Data = nil, nil
+		}
+		for i, d := range v.Data {
+			if len(d) == 0 {
+				v.Data[i] = nil
+			}
+		}
+		return v
+	case RestoreData:
+		v.Entry = normEntry(v.Entry)
+		if len(v.Data) == 0 {
+			v.Data = nil
+		}
+		return v
+	default:
+		return m
+	}
+}
+
+func normEntry(e FileEntry) FileEntry {
+	if len(e.Chunks) == 0 {
+		e.Chunks, e.Sizes = nil, nil
+	}
+	return e
+}
+
+// TestTruncatedFrames feeds every prefix of valid frames to a decoder and
+// expects a clean error, never a panic.
+func TestTruncatedFrames(t *testing.T) {
+	msgs := []any{
+		FPBatch{SessionID: 1, Seq: 2, FPs: []fp.FP{fp.FromUint64(1)}, Sizes: []uint32{10}},
+		FPVerdicts{Seq: 2, Need: []bool{true, false, true}},
+		ChunkBatch{SessionID: 1, FPs: []fp.FP{fp.FromUint64(1)}, Data: [][]byte{[]byte("abc")}},
+		Ack{OK: true, Err: "x"},
+		RestoreData{Entry: FileEntry{Path: "p", Chunks: []fp.FP{fp.FromUint64(2)}, Sizes: []uint32{3}}, Data: []byte("abc")},
+	}
+	for _, m := range msgs {
+		var wire bytes.Buffer
+		src := NewConn(nopCloser{&wire})
+		if err := src.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		full := wire.Bytes()
+		for cut := 0; cut < len(full); cut++ {
+			r := bytes.NewReader(full[:cut])
+			c := NewConn(nopCloser{struct {
+				io.Reader
+				io.Writer
+			}{r, io.Discard}})
+			if _, err := c.Recv(); err == nil {
+				t.Fatalf("%T truncated at %d of %d bytes decoded without error", m, cut, len(full))
+			}
+		}
+	}
+}
+
+// TestCorruptLengthRejected checks the frame-size guard.
+func TestCorruptLengthRejected(t *testing.T) {
+	frame := []byte{0x01, 0xFF, 0xFF, 0xFF, 0xFF} // 4 GB FPBatch
+	c := NewConn(nopCloser{struct {
+		io.Reader
+		io.Writer
+	}{bytes.NewReader(frame), io.Discard}})
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("4 GB frame accepted")
+	}
+}
+
+type nopCloser struct{ io.ReadWriter }
+
+func (nopCloser) Close() error { return nil }
+
+// TestConcurrentSendRecv drives one conn from decoupled send and receive
+// goroutines, as the pipelined client does.
+func TestConcurrentSendRecv(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+
+	const n = 200
+	go func() { // echo peer
+		for i := 0; i < n; i++ {
+			m, err := b.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.Send(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			m, err := a.Recv()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if got := m.(FPBatch).Seq; got != uint64(i) {
+				t.Errorf("reply %d has seq %d", i, got)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if err := a.Send(FPBatch{SessionID: 1, Seq: uint64(i), FPs: []fp.FP{fp.FromUint64(uint64(i))}, Sizes: []uint32{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
 }
 
 func TestDialFailure(t *testing.T) {

@@ -1,0 +1,264 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"debar/internal/client"
+	"debar/internal/fp"
+	"debar/internal/proto"
+	"debar/internal/server"
+)
+
+// TestConcurrentSessions drives ≥4 clients backing up different datasets
+// to one server at the same time, runs dedup-2, and verifies every
+// dataset restores byte-identically. Run under -race this exercises the
+// per-session locking of the server and the client's pipelined data path.
+func TestConcurrentSessions(t *testing.T) {
+	d, srvAddr := startSystem(t)
+
+	const nClients = 4
+	type job struct {
+		name  string
+		src   string
+		files map[string][]byte
+	}
+	jobs := make([]job, nClients)
+	for i := range jobs {
+		src := t.TempDir()
+		jobs[i] = job{
+			name:  fmt.Sprintf("conc-job-%d", i),
+			src:   src,
+			files: writeTree(t, src, int64(100+i)),
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, nClients)
+	stats := make([]client.BackupStats, nClients)
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := testClient(srvAddr)
+			c.Name = fmt.Sprintf("conc-client-%d", i)
+			stats[i], errs[i] = c.Backup(jobs[i].name, jobs[i].src)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+		if stats[i].Files != 5 {
+			t.Fatalf("client %d backed up %d files", i, stats[i].Files)
+		}
+		if stats[i].TransferredBytes >= stats[i].LogicalBytes {
+			t.Fatalf("client %d: no dedup-1 savings (%d of %d)",
+				i, stats[i].TransferredBytes, stats[i].LogicalBytes)
+		}
+	}
+
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range jobs {
+		dst := t.TempDir()
+		c := testClient(srvAddr)
+		n, err := c.Restore(jobs[i].name, dst)
+		if err != nil {
+			t.Fatalf("restore job %d: %v", i, err)
+		}
+		if n != 5 {
+			t.Fatalf("job %d restored %d files", i, n)
+		}
+		for rel, want := range jobs[i].files {
+			got, err := os.ReadFile(filepath.Join(dst, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("job %d file %s differs after concurrent backup", i, rel)
+			}
+		}
+	}
+}
+
+// TestConcurrentBackupAndRestore overlaps a restore of one job with a
+// backup of another: the restorer must not be blocked behind (or block)
+// an in-flight dedup-1 stream.
+func TestConcurrentBackupAndRestore(t *testing.T) {
+	d, srvAddr := startSystem(t)
+
+	src1 := t.TempDir()
+	files1 := writeTree(t, src1, 51)
+	c1 := testClient(srvAddr)
+	if _, err := c1.Backup("overlap-a", src1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+
+	src2 := t.TempDir()
+	writeTree(t, src2, 52)
+	done := make(chan error, 1)
+	go func() {
+		c2 := testClient(srvAddr)
+		_, err := c2.Backup("overlap-b", src2)
+		done <- err
+	}()
+
+	dst := t.TempDir()
+	if _, err := c1.Restore("overlap-a", dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for rel, want := range files1 {
+		got, err := os.ReadFile(filepath.Join(dst, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s differs when restored during a concurrent backup", rel)
+		}
+	}
+}
+
+// TestCloseUnblocksActiveConnections verifies Server.Close tears down
+// in-flight connection handlers, not just the listener.
+func TestCloseUnblocksActiveConnections(t *testing.T) {
+	srv, err := server.New(server.Config{IndexBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := proto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.BackupStart{JobName: "close-test", Client: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The handler side of conn must now be closed: a Recv on the idle
+	// connection should fail promptly instead of hanging until we give up.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := conn.Recv()
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("Recv on a closed server's connection returned a message")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("connection to closed server still open after 5s")
+	}
+}
+
+// TestChunkBatchAtomicOnMismatch sends a batch whose middle chunk is
+// corrupt and checks the whole batch is rejected without touching the
+// session accounting, then that a corrected batch still lands.
+func TestChunkBatchAtomicOnMismatch(t *testing.T) {
+	srv, err := server.New(server.Config{IndexBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := proto.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	if err := conn.Send(proto.BackupStart{JobName: "atomic", Client: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := msg.(proto.BackupStartOK).SessionID
+
+	chunks := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+	fps := make([]fp.FP, len(chunks))
+	var sizes []uint32
+	for i, c := range chunks {
+		fps[i] = fp.New(c)
+		sizes = append(sizes, uint32(len(c)))
+	}
+	if err := conn.Send(proto.FPBatch{SessionID: sess, FPs: fps, Sizes: sizes}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if v := msg.(proto.FPVerdicts); len(v.Need) != 3 || !v.Need[0] || !v.Need[1] || !v.Need[2] {
+		t.Fatalf("verdicts = %+v", msg)
+	}
+
+	// Middle chunk corrupted in transit: its payload no longer matches
+	// the declared fingerprint.
+	bad := [][]byte{chunks[0], []byte("CORRUPT"), chunks[2]}
+	if err := conn.Send(proto.ChunkBatch{SessionID: sess, FPs: fps, Data: bad}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if ack := msg.(proto.Ack); ack.OK {
+		t.Fatal("corrupt batch accepted")
+	}
+
+	// Retry with the correct payloads.
+	if err := conn.Send(proto.ChunkBatch{SessionID: sess, FPs: fps, Data: chunks}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if ack := msg.(proto.Ack); !ack.OK {
+		t.Fatalf("correct batch refused: %s", ack.Err)
+	}
+
+	if err := conn.Send(proto.BackupEnd{SessionID: sess}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	done := msg.(proto.BackupDone)
+	// Exactly one accepted copy of each chunk: the rejected batch must
+	// contribute nothing to the transfer accounting.
+	wantXfer := int64(len(chunks)*(fp.Size+1) + len("alphabetagamma"))
+	if done.TransferredBytes != wantXfer {
+		t.Fatalf("TransferredBytes = %d, want %d (failed batch must not count)",
+			done.TransferredBytes, wantXfer)
+	}
+}

@@ -45,11 +45,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// session is one client backup session (one job run).
+// session is one client backup session (one job run). Its mutex makes the
+// session state safe on its own, so sessions never contend with each
+// other: fpBatch/chunkBatch traffic from different clients proceeds in
+// parallel (the scaling behaviour of paper Figures 14–15).
 type session struct {
-	id       uint64
-	jobName  string
-	runID    uint64
+	id      uint64
+	jobName string
+	runID   uint64
+
+	mu       sync.Mutex
 	filter   *prefilter.Filter
 	overflow []fp.FP // new fingerprints the saturated filter couldn't hold
 	logical  int64
@@ -58,20 +63,34 @@ type session struct {
 }
 
 // Server is one backup server.
+//
+// Locking is deliberately fine-grained: mu guards only connection
+// lifecycle and the session table; each session carries its own lock;
+// pendMu guards the dedup-2 hand-off state (pending undetermined
+// fingerprints, unregistered entries); restoreMu serialises the shared
+// Restorer per chunk (never across a whole file reassembly); the chunk
+// log has its own internal lock. No server-wide lock is ever held across
+// a data-path batch or a restore loop.
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex
+	mu       sync.Mutex // sessions, nextSess, ln, conns, addr, serverID
 	sessions map[uint64]*session
 	nextSess uint64
-	pending  []fp.FP // undetermined fingerprints awaiting dedup-2
-	unreg    []fp.Entry
-	log      *chunklog.Log
-	chunk    *tpds.ChunkStore
-	restorer *tpds.Restorer
+	conns    map[*proto.Conn]struct{} // accepted, still-open connections
 	ln       net.Listener
 	addr     string
 	serverID int
+	closed   bool
+
+	pendMu  sync.Mutex
+	pending []fp.FP // undetermined fingerprints awaiting dedup-2
+	unreg   []fp.Entry
+
+	restoreMu sync.Mutex // serialises the shared restorer, per chunk
+	log       *chunklog.Log
+	chunk     *tpds.ChunkStore
+	restorer  *tpds.Restorer
 }
 
 // New builds a backup server over in-memory storage (the daemon binaries
@@ -91,6 +110,7 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
+		conns:    make(map[*proto.Conn]struct{}),
 		log:      chunklog.NewMem(false, nil),
 		chunk:    cs,
 		restorer: tpds.NewRestorer(ix, repo, 16),
@@ -137,20 +157,57 @@ func (s *Server) Serve(addr string) (string, error) {
 			if err != nil {
 				return
 			}
-			go s.handle(proto.NewConn(c))
+			conn := proto.NewConn(c)
+			if !s.track(conn) {
+				conn.Close() // raced with Close
+				return
+			}
+			go s.handle(conn)
 		}
 	}()
 	return s.addr, nil
 }
 
-// Close stops the listener.
-func (s *Server) Close() error {
+// track registers an accepted connection; it reports false once the
+// server is closed.
+func (s *Server) track(conn *proto.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.ln != nil {
-		return s.ln.Close()
+	if s.closed {
+		return false
 	}
-	return nil
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// untrack forgets a finished connection.
+func (s *Server) untrack(conn *proto.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.conns, conn)
+}
+
+// Close stops the listener and closes every active per-connection
+// handler, so in-flight handle goroutines unblock promptly instead of
+// lingering until the peer hangs up.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]*proto.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
 }
 
 // director opens a fresh control connection to the director.
@@ -175,6 +232,7 @@ func (s *Server) directorCall(req any) (any, error) {
 }
 
 func (s *Server) handle(conn *proto.Conn) {
+	defer s.untrack(conn)
 	defer conn.Close()
 	for {
 		msg, err := conn.Recv()
@@ -272,8 +330,8 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 		return nil, errors.New("server: FPBatch lengths differ")
 	}
 	need := make([]bool, len(m.FPs))
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	for i, f := range m.FPs {
 		tr, admitted := sess.filter.Test(f)
 		need[i] = tr
@@ -286,7 +344,7 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 			}
 		}
 	}
-	return proto.FPVerdicts{Need: need}, nil
+	return proto.FPVerdicts{Seq: m.Seq, Need: need}, nil
 }
 
 func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
@@ -297,17 +355,28 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 	if len(m.FPs) != len(m.Data) {
 		return nil, errors.New("server: ChunkBatch lengths differ")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Validate the whole batch before appending anything, so a mid-batch
+	// fingerprint mismatch rejects the batch atomically instead of
+	// leaving earlier chunks in the log with the session accounting
+	// inconsistent.
 	for i, f := range m.FPs {
 		if got := fp.New(m.Data[i]); got != f {
 			return nil, fmt.Errorf("server: chunk %d fingerprint mismatch (corruption in transit)", i)
 		}
-		if err := s.log.Append(f, uint32(len(m.Data[i])), m.Data[i]); err != nil {
+	}
+	// The batch's Data slices alias the connection's receive buffer,
+	// whose ownership passed to this message (proto's zero-copy decode),
+	// so the log can retain them without another copy.
+	var batchBytes int64
+	for i, f := range m.FPs {
+		if err := s.log.AppendOwned(f, uint32(len(m.Data[i])), m.Data[i]); err != nil {
 			return nil, err
 		}
-		sess.xfer += int64(len(m.Data[i]))
+		batchBytes += int64(len(m.Data[i]))
 	}
+	sess.mu.Lock()
+	sess.xfer += batchBytes
+	sess.mu.Unlock()
 	return proto.Ack{OK: true}, nil
 }
 
@@ -335,8 +404,7 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sess.mu.Lock()
 	und := sess.filter.CollectNew(false)
 	seen := make(map[fp.FP]bool, len(und))
 	for _, f := range und {
@@ -348,20 +416,28 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 			und = append(und, f)
 		}
 	}
-	s.pending = append(s.pending, und...)
-	delete(s.sessions, sess.id)
-	return proto.BackupDone{
+	done := proto.BackupDone{
 		LogicalBytes:     sess.logical,
 		TransferredBytes: sess.xfer,
 		NewFingerprints:  sess.newFPs,
-	}, nil
+	}
+	sess.mu.Unlock()
+
+	s.pendMu.Lock()
+	s.pending = append(s.pending, und...)
+	s.pendMu.Unlock()
+
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	return done, nil
 }
 
 func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
-	s.mu.Lock()
+	s.pendMu.Lock()
 	pending := s.pending
 	s.pending = nil
-	s.mu.Unlock()
+	s.pendMu.Unlock()
 
 	res, unreg, err := s.chunk.RunSILAndStore(pending, s.log, s.cfg.CacheBits)
 	if err != nil {
@@ -370,7 +446,7 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	if err := s.log.Reset(); err != nil {
 		return proto.Dedup2Done{Err: err.Error()}, nil
 	}
-	s.mu.Lock()
+	s.pendMu.Lock()
 	s.unreg = append(s.unreg, unreg...)
 	runSIU := m.RunSIU
 	var toUpdate []fp.Entry
@@ -378,7 +454,7 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		toUpdate = s.unreg
 		s.unreg = nil
 	}
-	s.mu.Unlock()
+	s.pendMu.Unlock()
 	if runSIU {
 		if _, err := s.chunk.RunSIU(toUpdate); err != nil {
 			return proto.Dedup2Done{Err: err.Error()}, nil
@@ -426,18 +502,27 @@ func (s *Server) restoreFile(m proto.RestoreFile) (any, error) {
 		if e.Path != m.Path {
 			continue
 		}
-		// Reassemble from the chunk repository through LPC (§3.3).
-		s.mu.Lock()
+		// RestoreData still ships a whole file in one frame; refuse
+		// files that cannot fit rather than dying mid-send (chunk-level
+		// restore streaming is a ROADMAP item).
+		if e.Size > proto.MaxFrame-(16<<20) {
+			return nil, fmt.Errorf("server: %s is %d bytes, larger than the %d-byte restore frame limit",
+				e.Path, e.Size, proto.MaxFrame)
+		}
+		// Reassemble from the chunk repository through LPC (§3.3). The
+		// restorer lock is taken per chunk, never across the whole loop,
+		// so concurrent restores and backups interleave at chunk
+		// granularity.
 		data := make([]byte, 0, e.Size)
 		for _, f := range e.Chunks {
+			s.restoreMu.Lock()
 			chunk, err := s.restorer.Chunk(f)
+			s.restoreMu.Unlock()
 			if err != nil {
-				s.mu.Unlock()
 				return nil, fmt.Errorf("server: restoring %s: %w", e.Path, err)
 			}
 			data = append(data, chunk...)
 		}
-		s.mu.Unlock()
 		return proto.RestoreData{Entry: e, Data: data}, nil
 	}
 	return nil, fmt.Errorf("server: %s not found in job %q", m.Path, m.JobName)
