@@ -162,71 +162,80 @@ func BenchmarkFig15Scaling(b *testing.B) {
 // real loopback-TCP data path (director + one backup server, StartLocal)
 // with 1, 2 and 4 concurrent clients, each backing up its own dataset.
 // Aggregate MB/s is the figure of merit (paper Figures 14–15: throughput
-// scales with concurrent clients).
+// scales with concurrent clients). The mem variant runs the in-memory
+// stores; the durable variant wires the server onto the on-disk storage
+// engine (internal/store: segmented container log, index file, chunk-log
+// WAL), so BENCH data covers the persistence path's fsync and WAL cost.
 func BenchmarkEndToEndBackup(b *testing.B) {
-	for _, nClients := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("clients=%d", nClients), func(b *testing.B) {
-			const perClient = 16 << 20
-			dirs := make([]string, nClients)
-			rng := newDetRand(uint64(nClients))
-			for i := range dirs {
-				dirs[i] = b.TempDir()
-				// Two files per client: one unique, one with a shared prefix,
-				// so dedup-1 has both hits and misses to process.
-				buf := make([]byte, perClient/2)
-				for j := 0; j < len(buf); j += 8 {
-					binary.LittleEndian.PutUint64(buf[j:], rng.next())
-				}
-				if err := os.WriteFile(filepath.Join(dirs[i], "unique.bin"), buf, 0o644); err != nil {
-					b.Fatal(err)
-				}
-				shared := make([]byte, perClient/2)
-				rng2 := newDetRand(7) // same seed across clients: cross-client dups
-				for j := 0; j < len(shared); j += 8 {
-					binary.LittleEndian.PutUint64(shared[j:], rng2.next())
-				}
-				if err := os.WriteFile(filepath.Join(dirs[i], "shared.bin"), shared, 0o644); err != nil {
-					b.Fatal(err)
-				}
-			}
-
-			b.SetBytes(int64(nClients) * perClient)
-			var busy time.Duration // backup wall-clock, setup excluded
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				sys, err := StartLocal(1, ServerConfig{IndexBits: 12})
-				if err != nil {
-					b.Fatal(err)
-				}
-				b.StartTimer()
-
-				start := nowForBench()
-				var wg sync.WaitGroup
-				errs := make([]error, nClients)
-				for cl := 0; cl < nClients; cl++ {
-					wg.Add(1)
-					go func(cl int) {
-						defer wg.Done()
-						c := NewClient(sys.ServerAddrs[0], fmt.Sprintf("bench-%d", cl))
-						_, errs[cl] = c.Backup(fmt.Sprintf("bench-job-%d-%d", cl, i), dirs[cl])
-					}(cl)
-				}
-				wg.Wait()
-				busy += nowForBench().Sub(start)
-
-				b.StopTimer()
-				for _, err := range errs {
-					if err != nil {
+	for _, mode := range []string{"mem", "durable"} {
+		for _, nClients := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/clients=%d", mode, nClients), func(b *testing.B) {
+				const perClient = 16 << 20
+				dirs := make([]string, nClients)
+				rng := newDetRand(uint64(nClients))
+				for i := range dirs {
+					dirs[i] = b.TempDir()
+					// Two files per client: one unique, one with a shared prefix,
+					// so dedup-1 has both hits and misses to process.
+					buf := make([]byte, perClient/2)
+					for j := 0; j < len(buf); j += 8 {
+						binary.LittleEndian.PutUint64(buf[j:], rng.next())
+					}
+					if err := os.WriteFile(filepath.Join(dirs[i], "unique.bin"), buf, 0o644); err != nil {
+						b.Fatal(err)
+					}
+					shared := make([]byte, perClient/2)
+					rng2 := newDetRand(7) // same seed across clients: cross-client dups
+					for j := 0; j < len(shared); j += 8 {
+						binary.LittleEndian.PutUint64(shared[j:], rng2.next())
+					}
+					if err := os.WriteFile(filepath.Join(dirs[i], "shared.bin"), shared, 0o644); err != nil {
 						b.Fatal(err)
 					}
 				}
-				sys.Close()
-				b.StartTimer()
-			}
-			b.StopTimer()
-			b.ReportMetric(float64(b.N)*float64(nClients*perClient)/1e6/busy.Seconds(), "MB/s")
-		})
+
+				b.SetBytes(int64(nClients) * perClient)
+				var busy time.Duration // backup wall-clock, setup excluded
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cfg := ServerConfig{IndexBits: 12}
+					if mode == "durable" {
+						cfg.DataDir = b.TempDir()
+					}
+					sys, err := StartLocal(1, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+
+					start := nowForBench()
+					var wg sync.WaitGroup
+					errs := make([]error, nClients)
+					for cl := 0; cl < nClients; cl++ {
+						wg.Add(1)
+						go func(cl int) {
+							defer wg.Done()
+							c := NewClient(sys.ServerAddrs[0], fmt.Sprintf("bench-%d", cl))
+							_, errs[cl] = c.Backup(fmt.Sprintf("bench-job-%d-%d", cl, i), dirs[cl])
+						}(cl)
+					}
+					wg.Wait()
+					busy += nowForBench().Sub(start)
+
+					b.StopTimer()
+					for _, err := range errs {
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					sys.Close()
+					b.StartTimer()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)*float64(nClients*perClient)/1e6/busy.Seconds(), "MB/s")
+			})
+		}
 	}
 }
 

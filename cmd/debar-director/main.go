@@ -1,9 +1,11 @@
 // Command debar-director runs the DEBAR director: job scheduling,
-// metadata management and dedup-2 coordination (paper §3.1).
+// metadata management and dedup-2 coordination (paper §3.1). With
+// -data-dir the job catalog and file indexes persist through a journaled
+// metastore (crash-recovered on open); without it metadata is in-memory.
 //
 // Usage:
 //
-//	debar-director -listen :7700
+//	debar-director -listen :7700 -data-dir /var/lib/debar-director
 package main
 
 import (
@@ -11,26 +13,56 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"debar/internal/director"
+	"debar/internal/metastore"
 )
 
 func main() {
 	listen := flag.String("listen", ":7700", "address to listen on")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory metadata)")
 	flag.Parse()
 
-	d := director.New()
+	var d *director.Director
+	var ms *metastore.Store
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("debar-director: %v", err)
+		}
+		var err error
+		ms, err = metastore.Open(filepath.Join(*dataDir, "meta.journal"), 0)
+		if err != nil {
+			log.Fatalf("debar-director: %v", err)
+		}
+		if d, err = director.NewDurable(ms); err != nil {
+			log.Fatalf("debar-director: %v", err)
+		}
+	} else {
+		d = director.New()
+	}
 	d.SetLogger(log.Printf)
 	addr, err := d.Serve(*listen)
 	if err != nil {
 		log.Fatalf("debar-director: %v", err)
 	}
-	log.Printf("debar-director: listening on %s", addr)
+	if *dataDir != "" {
+		log.Printf("debar-director: listening on %s (data dir %s)", addr, *dataDir)
+	} else {
+		log.Printf("debar-director: listening on %s (in-memory metadata)", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("debar-director: shutting down")
-	d.Close()
+	if err := d.Close(); err != nil {
+		log.Printf("debar-director: close: %v", err)
+	}
+	if ms != nil {
+		if err := ms.Close(); err != nil {
+			log.Printf("debar-director: metastore close: %v", err)
+		}
+	}
 }

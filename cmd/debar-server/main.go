@@ -1,9 +1,12 @@
 // Command debar-server runs a DEBAR backup server: dedup-1 File Store and
-// dedup-2 Chunk Store (paper §3.3).
+// dedup-2 Chunk Store (paper §3.3). With -data-dir the server runs on the
+// durable storage engine (internal/store): containers, disk index and
+// chunk-log WAL live in the data directory and survive restarts, with
+// crash recovery on open. Without it every store is in-memory.
 //
 // Usage:
 //
-//	debar-server -listen :7701 -director localhost:7700
+//	debar-server -listen :7701 -director localhost:7700 -data-dir /var/lib/debar
 package main
 
 import (
@@ -19,12 +22,20 @@ import (
 func main() {
 	listen := flag.String("listen", ":7701", "address to listen on")
 	dir := flag.String("director", "", "director address (required for metadata)")
-	indexBits := flag.Uint("index-bits", 18, "disk index bucket bits (2^n buckets)")
+	indexBits := flag.Uint("index-bits", 0, "disk index bucket bits, 2^n buckets (0 = default: 18 in-memory; a data dir keeps its manifest geometry)")
+	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory stores)")
 	flag.Parse()
+	if *indexBits == 0 && *dataDir == "" {
+		// Memory-backed default stays 2^18 buckets; for a data dir an
+		// unset flag must adopt the manifest's geometry instead of
+		// conflicting with it.
+		*indexBits = 18
+	}
 
 	srv, err := server.New(server.Config{
 		DirectorAddr: *dir,
 		IndexBits:    *indexBits,
+		DataDir:      *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("debar-server: %v", err)
@@ -33,10 +44,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("debar-server: %v", err)
 	}
-	log.Printf("debar-server: listening on %s (director %q)", addr, *dir)
+	if *dataDir != "" {
+		log.Printf("debar-server: listening on %s (director %q, data dir %s)", addr, *dir, *dataDir)
+	} else {
+		log.Printf("debar-server: listening on %s (director %q, in-memory stores)", addr, *dir)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		log.Printf("debar-server: close: %v", err)
+	}
 }

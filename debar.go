@@ -17,9 +17,12 @@ package debar
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"debar/internal/client"
 	"debar/internal/director"
+	"debar/internal/metastore"
 	"debar/internal/server"
 )
 
@@ -42,22 +45,48 @@ type System struct {
 	DirectorAddr string
 	Servers      []*server.Server
 	ServerAddrs  []string
+	meta         *metastore.Store // non-nil when the director is durable
 }
 
-// StartLocal boots a director and n backup servers on 127.0.0.1.
+// StartLocal boots a director and n backup servers on 127.0.0.1. When
+// cfg.DataDir is set the whole deployment is durable: the director
+// journals its metadata under <DataDir>/director and each server gets its
+// own storage engine under <DataDir>/server-<i>, so a deployment
+// restarted over the same directory recovers its backups.
 func StartLocal(n int, cfg ServerConfig) (*System, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("debar: need at least one backup server, got %d", n)
 	}
-	sys := &System{Director: director.New()}
+	sys := &System{}
+	if cfg.DataDir != "" {
+		dirDir := filepath.Join(cfg.DataDir, "director")
+		if err := os.MkdirAll(dirDir, 0o755); err != nil {
+			return nil, fmt.Errorf("debar: %w", err)
+		}
+		ms, err := metastore.Open(filepath.Join(dirDir, "meta.journal"), 0)
+		if err != nil {
+			return nil, err
+		}
+		sys.meta = ms
+		if sys.Director, err = director.NewDurable(ms); err != nil {
+			ms.Close()
+			return nil, err
+		}
+	} else {
+		sys.Director = director.New()
+	}
 	addr, err := sys.Director.Serve("127.0.0.1:0")
 	if err != nil {
+		sys.Close()
 		return nil, err
 	}
 	sys.DirectorAddr = addr
 	for i := 0; i < n; i++ {
 		c := cfg
 		c.DirectorAddr = addr
+		if cfg.DataDir != "" {
+			c.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("server-%d", i))
+		}
 		srv, err := server.New(c)
 		if err != nil {
 			sys.Close()
@@ -94,5 +123,8 @@ func (s *System) Close() {
 	}
 	if s.Director != nil {
 		s.Director.Close()
+	}
+	if s.meta != nil {
+		s.meta.Close()
 	}
 }

@@ -128,7 +128,6 @@ func (t *tables) roll(h Poly, b byte) Poly {
 	return h ^ t.mod[h>>t.shift]
 }
 
-
 // Hash computes the (non-rolling) Rabin fingerprint of data under poly.
 // It is used by tests to validate the rolling computation and is exported
 // for callers that need one-shot window hashes.

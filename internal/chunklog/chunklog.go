@@ -40,6 +40,13 @@ type Log struct {
 	bytes    int64 // payload bytes represented
 	disk     *disksim.Disk
 	file     *os.File // non-nil for file-backed logs
+
+	// WAL mode (OpenWAL): checksummed record framing, batched fsync,
+	// torn-tail recovery. See wal.go.
+	crc       bool
+	end       int64 // append offset (WAL mode)
+	dirty     int   // bytes appended since the last fsync
+	syncBytes int   // fsync batching threshold (<0 disables fsync)
 }
 
 // NewMem returns a memory-backed log. metaOnly drops payloads while
@@ -80,7 +87,11 @@ func (l *Log) append(f fp.FP, size uint32, data []byte, owned bool) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.file != nil {
+	if l.crc {
+		if err := l.appendWAL(f, size, data); err != nil {
+			return err
+		}
+	} else if l.file != nil {
 		var hdr [recordHeader]byte
 		copy(hdr[:], f[:])
 		binary.BigEndian.PutUint32(hdr[fp.Size:], size)
@@ -112,6 +123,10 @@ func (l *Log) append(f fp.FP, size uint32, data []byte, owned bool) error {
 func (l *Log) Count() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.crc {
+		n, _ := l.countWAL()
+		return n
+	}
 	if l.file != nil {
 		n, _ := l.countFile()
 		return n
@@ -153,6 +168,9 @@ func (l *Log) Iterate(fn func(Record) error) error {
 	if l.disk != nil {
 		l.disk.SeqRead(l.bytes + int64(l.Len())*recordHeader)
 	}
+	if l.crc {
+		return l.iterateWAL(fn)
+	}
 	if l.file != nil {
 		return l.iterateFile(fn)
 	}
@@ -191,12 +209,16 @@ func (l *Log) iterateFile(fn func(Record) error) error {
 	}
 }
 
-// Reset discards all records after a completed dedup-2 pass.
+// Reset discards all records after a completed dedup-2 pass. In WAL mode
+// the truncation is made durable immediately: once dedup-2 has stored the
+// chunks, a recovered WAL must not replay them.
 func (l *Log) Reset() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.recs = nil
 	l.bytes = 0
+	l.end = 0
+	l.dirty = 0
 	if l.file != nil {
 		if err := l.file.Truncate(0); err != nil {
 			return fmt.Errorf("chunklog: reset: %w", err)
@@ -204,13 +226,26 @@ func (l *Log) Reset() error {
 		if _, err := l.file.Seek(0, io.SeekStart); err != nil {
 			return fmt.Errorf("chunklog: reset: %w", err)
 		}
+		if l.crc && l.syncBytes > 0 {
+			if err := l.file.Sync(); err != nil {
+				return fmt.Errorf("chunklog: reset sync: %w", err)
+			}
+		}
 	}
 	return nil
 }
 
-// Close releases the backing file, if any.
+// Close flushes batched appends and releases the backing file, if any.
 func (l *Log) Close() error {
 	if l.file != nil {
+		if l.crc && l.syncBytes > 0 {
+			l.mu.Lock()
+			err := l.syncLocked()
+			l.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
 		return l.file.Close()
 	}
 	return nil

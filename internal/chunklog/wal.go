@@ -1,0 +1,203 @@
+package chunklog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"debar/internal/fp"
+)
+
+// WAL mode turns the chunk log into a durable write-ahead log: every
+// record is framed with a CRC32-C checksum so a torn tail (a crash mid
+// append) is detected and truncated on open, and appends are fsynced in
+// batches so dedup-1 state survives a crash without paying one fsync per
+// chunk.
+//
+// WAL record framing:
+//
+//	+-------------+---------+------------+----------------+
+//	| crc32c (u32)| fp (20) | size (u32) | data (size B)  |
+//	+-------------+---------+------------+----------------+
+//
+// The checksum covers fingerprint, size and data. Recovery scans from the
+// start of the file and truncates at the first record whose header is
+// short, whose declared size is implausible, or whose checksum mismatches:
+// everything before that point is a complete prefix of the appended
+// stream. Note the durability window: appends are fsynced in batches and
+// the server acknowledges a chunk batch before the batch is necessarily
+// synced, so a power failure can drop up to syncBytes of acknowledged
+// records — a deliberate throughput trade recorded in
+// internal/store/README.md ("Consistency model"). The recovered prefix is
+// always a consistent replay point; lost chunks re-enter on the client's
+// next backup run.
+
+// walHeader is the serialised record header: checksum + fingerprint + size.
+const walHeader = 4 + fp.Size + 4
+
+// walMaxRecord bounds a sane record payload during recovery scanning: a
+// declared size beyond this is treated as a torn/corrupt tail rather than
+// followed into the void. Chunks are bounded by the container size (8 MB
+// default), so 256 MB is far above any legitimate record.
+const walMaxRecord = 256 << 20
+
+// DefaultWALSyncBytes is the default fsync batching threshold: the file is
+// fsynced once at least this many bytes have been appended since the last
+// sync (and on Sync/Reset/Close).
+const DefaultWALSyncBytes = 1 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// OpenWAL opens (creating if needed) a durable chunk-log WAL at path,
+// recovering any existing records. It returns the log and the fingerprints
+// of the recovered records in append order (the crash-recovery seed for
+// the undetermined fingerprint file). syncBytes sets the fsync batching
+// threshold; 0 selects DefaultWALSyncBytes, negative disables fsync (tests).
+func OpenWAL(path string, syncBytes int) (*Log, []fp.FP, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chunklog: open wal: %w", err)
+	}
+	if syncBytes == 0 {
+		syncBytes = DefaultWALSyncBytes
+	}
+	l := &Log{file: f, crc: true, syncBytes: syncBytes}
+	fps, err := l.recoverWAL()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return l, fps, nil
+}
+
+// recoverWAL scans the WAL, accepting the longest prefix of complete,
+// checksum-valid records and truncating the file after it.
+func (l *Log) recoverWAL() ([]fp.FP, error) {
+	st, err := l.file.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("chunklog: wal stat: %w", err)
+	}
+	fileSize := st.Size()
+	var fps []fp.FP
+	var hdr [walHeader]byte
+	off := int64(0)
+	for {
+		if off+walHeader > fileSize {
+			break // short header: torn tail
+		}
+		if _, err := l.file.ReadAt(hdr[:], off); err != nil {
+			return nil, fmt.Errorf("chunklog: wal scan: %w", err)
+		}
+		size := int64(binary.BigEndian.Uint32(hdr[4+fp.Size:]))
+		if size > walMaxRecord || off+walHeader+size > fileSize {
+			break // implausible length or short payload: torn tail
+		}
+		body := make([]byte, fp.Size+4+size)
+		copy(body, hdr[4:])
+		if _, err := l.file.ReadAt(body[fp.Size+4:], off+walHeader); err != nil {
+			return nil, fmt.Errorf("chunklog: wal scan: %w", err)
+		}
+		if binary.BigEndian.Uint32(hdr[:4]) != crc32.Checksum(body, castagnoli) {
+			break // checksum mismatch: torn or corrupt tail
+		}
+		var f fp.FP
+		copy(f[:], body[:fp.Size])
+		fps = append(fps, f)
+		l.bytes += size
+		off += walHeader + size
+	}
+	if off < fileSize {
+		if err := l.file.Truncate(off); err != nil {
+			return nil, fmt.Errorf("chunklog: wal truncating torn tail: %w", err)
+		}
+		if err := l.file.Sync(); err != nil {
+			return nil, fmt.Errorf("chunklog: wal sync after truncate: %w", err)
+		}
+	}
+	l.end = off
+	return fps, nil
+}
+
+// appendWAL writes one checksummed record at the end of the WAL and
+// applies the fsync batching policy.
+func (l *Log) appendWAL(f fp.FP, size uint32, data []byte) error {
+	rec := make([]byte, walHeader+len(data))
+	copy(rec[4:], f[:])
+	binary.BigEndian.PutUint32(rec[4+fp.Size:], size)
+	copy(rec[walHeader:], data)
+	binary.BigEndian.PutUint32(rec[:4], crc32.Checksum(rec[4:], castagnoli))
+	if _, err := l.file.WriteAt(rec, l.end); err != nil {
+		return fmt.Errorf("chunklog: wal append: %w", err)
+	}
+	l.end += int64(len(rec))
+	l.dirty += len(rec)
+	if l.syncBytes > 0 && l.dirty >= l.syncBytes {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+// iterateWAL replays the records in append order, re-verifying checksums
+// (corruption after recovery — bad sectors — surfaces here rather than as
+// a wrong chunk in a container).
+func (l *Log) iterateWAL(fn func(Record) error) error {
+	var hdr [walHeader]byte
+	off := int64(0)
+	for off < l.end {
+		if _, err := l.file.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("chunklog: wal iterate: %w", err)
+		}
+		size := int64(binary.BigEndian.Uint32(hdr[4+fp.Size:]))
+		body := make([]byte, fp.Size+4+size)
+		copy(body, hdr[4:])
+		if _, err := l.file.ReadAt(body[fp.Size+4:], off+walHeader); err != nil {
+			return fmt.Errorf("chunklog: wal iterate: %w", err)
+		}
+		if binary.BigEndian.Uint32(hdr[:4]) != crc32.Checksum(body, castagnoli) {
+			return fmt.Errorf("chunklog: wal record at offset %d fails checksum (media corruption?)", off)
+		}
+		var r Record
+		copy(r.FP[:], body[:fp.Size])
+		r.Size = uint32(size)
+		r.Data = body[fp.Size+4:]
+		if err := fn(r); err != nil {
+			return err
+		}
+		off += walHeader + size
+	}
+	return nil
+}
+
+// countWAL counts records by walking headers.
+func (l *Log) countWAL() (int64, error) {
+	var n int64
+	var hdr [walHeader]byte
+	off := int64(0)
+	for off < l.end {
+		if _, err := l.file.ReadAt(hdr[:], off); err != nil {
+			return n, err
+		}
+		off += walHeader + int64(binary.BigEndian.Uint32(hdr[4+fp.Size:]))
+		n++
+	}
+	return n, nil
+}
+
+// Sync flushes batched appends to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.file == nil || l.dirty == 0 {
+		return nil
+	}
+	if err := l.file.Sync(); err != nil {
+		return fmt.Errorf("chunklog: sync: %w", err)
+	}
+	l.dirty = 0
+	return nil
+}

@@ -94,33 +94,85 @@ func (c *Container) Marshal() []byte {
 // ErrCorrupt reports a malformed container image.
 var ErrCorrupt = errors.New("container: corrupt image")
 
-// Unmarshal parses a container image produced by Marshal.
+// Unmarshal parses a container image produced by Marshal. The returned
+// container owns its data (no aliasing of buf).
 func Unmarshal(buf []byte) (*Container, error) {
-	if len(buf) < headerSize {
-		return nil, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
+	c, err := UnmarshalShared(buf)
+	if err != nil {
+		return nil, err
 	}
-	if binary.BigEndian.Uint32(buf[0:]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	c := &Container{ID: fp.ContainerID(binary.BigEndian.Uint64(buf[4:]))}
-	nmeta := binary.BigEndian.Uint32(buf[12:])
-	dataLen := binary.BigEndian.Uint32(buf[16:])
-	need := headerSize + int(nmeta)*metaEntrySize + int(dataLen)
-	if len(buf) < need {
-		return nil, fmt.Errorf("%w: truncated (%d < %d)", ErrCorrupt, len(buf), need)
-	}
-	off := headerSize
-	c.Meta = make([]ChunkMeta, nmeta)
-	for i := range c.Meta {
-		copy(c.Meta[i].FP[:], buf[off:])
-		c.Meta[i].Size = binary.BigEndian.Uint32(buf[off+fp.Size:])
-		c.Meta[i].Offset = binary.BigEndian.Uint32(buf[off+fp.Size+4:])
-		off += metaEntrySize
-	}
-	if dataLen > 0 {
-		c.Data = append([]byte(nil), buf[off:off+int(dataLen)]...)
+	if c.Data != nil {
+		c.Data = append([]byte(nil), c.Data...)
 	}
 	return c, nil
+}
+
+// UnmarshalShared parses a container image like Unmarshal but aliases the
+// data section instead of copying it: c.Data points into buf. This is the
+// zero-copy read path for memory-mapped container logs — the returned
+// container (and any chunk slices taken from it) remains valid only while
+// the mapping it points into stays mapped. Callers that need the container
+// to outlive the mapping must use Unmarshal.
+func UnmarshalShared(buf []byte) (*Container, error) {
+	h, err := ParseHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if need := h.RecordLen(); int64(len(buf)) < need {
+		return nil, fmt.Errorf("%w: truncated (%d < %d)", ErrCorrupt, len(buf), need)
+	}
+	c := &Container{ID: h.ID, Meta: DecodeMetas(buf[headerSize:], h.NumMeta)}
+	if h.DataLen > 0 {
+		off := headerSize + h.NumMeta*metaEntrySize
+		end := off + int(h.DataLen)
+		c.Data = buf[off:end:end]
+	}
+	return c, nil
+}
+
+// DecodeMetas parses n serialised ChunkMeta entries from buf (which must
+// hold at least n*28 bytes: the metadata section of a container image).
+func DecodeMetas(buf []byte, n int) []ChunkMeta {
+	metas := make([]ChunkMeta, n)
+	for i := range metas {
+		p := buf[i*metaEntrySize:]
+		copy(metas[i].FP[:], p[:fp.Size])
+		metas[i].Size = binary.BigEndian.Uint32(p[fp.Size:])
+		metas[i].Offset = binary.BigEndian.Uint32(p[fp.Size+4:])
+	}
+	return metas
+}
+
+// Header describes one container record parsed from the front of its
+// serialised image: the self-describing framing a log scan walks.
+type Header struct {
+	ID      fp.ContainerID
+	NumMeta int
+	DataLen int64
+}
+
+// RecordLen returns the full serialised record length.
+func (h Header) RecordLen() int64 {
+	return headerSize + int64(h.NumMeta)*metaEntrySize + h.DataLen
+}
+
+// HeaderSize is the serialised container header length, exported for log
+// scanners that frame records by header.
+const HeaderSize = headerSize
+
+// ParseHeader decodes a container record header, validating the magic.
+func ParseHeader(buf []byte) (Header, error) {
+	if len(buf) < headerSize {
+		return Header{}, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(buf))
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != magic {
+		return Header{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return Header{
+		ID:      fp.ContainerID(binary.BigEndian.Uint64(buf[4:])),
+		NumMeta: int(binary.BigEndian.Uint32(buf[12:])),
+		DataLen: int64(binary.BigEndian.Uint32(buf[16:])),
+	}, nil
 }
 
 // Writer fills one container at a time in stream order (SISL). It is the

@@ -17,7 +17,7 @@ import (
 // is rebuilt by scanning the log on open (the log is self-describing, so
 // no separate manifest is needed — §3.4).
 type FileRepository struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	f       *os.File
 	offsets map[fp.ContainerID]int64
 	next    fp.ContainerID
@@ -91,11 +91,11 @@ func (r *FileRepository) Append(c *Container) (fp.ContainerID, error) {
 	return id, nil
 }
 
-// Load implements Repository.
+// Load implements Repository. The offset is snapshotted under a short
+// read lock and the record read outside it: record bytes are immutable
+// once published, so concurrent restores never serialise on the log lock.
 func (r *FileRepository) Load(id fp.ContainerID) (*Container, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	off, ok := r.offsets[id]
+	off, ok := r.offset(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: container %v", ErrNotFound, id)
 	}
@@ -115,11 +115,9 @@ func (r *FileRepository) Load(id fp.ContainerID) (*Container, error) {
 	return Unmarshal(img)
 }
 
-// LoadMeta implements Repository.
+// LoadMeta implements Repository; like Load it reads outside the lock.
 func (r *FileRepository) LoadMeta(id fp.ContainerID) ([]ChunkMeta, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	off, ok := r.offsets[id]
+	off, ok := r.offset(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: container %v", ErrNotFound, id)
 	}
@@ -145,17 +143,27 @@ func (r *FileRepository) LoadMeta(id fp.ContainerID) ([]ChunkMeta, error) {
 	return metas, nil
 }
 
+// offset snapshots a container's log offset. A record's bytes are fully
+// written before Append publishes the offset and never mutated after, so
+// readers holding a snapshot need no lock for the ReadAt calls.
+func (r *FileRepository) offset(id fp.ContainerID) (int64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	off, ok := r.offsets[id]
+	return off, ok
+}
+
 // Containers implements Repository.
 func (r *FileRepository) Containers() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return int64(len(r.offsets))
 }
 
 // Bytes implements Repository.
 func (r *FileRepository) Bytes() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.bytes
 }
 

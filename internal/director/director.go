@@ -7,6 +7,8 @@
 package director
 
 import (
+	"bytes"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"log"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"debar/internal/fp"
+	"debar/internal/metastore"
 	"debar/internal/proto"
 )
 
@@ -48,22 +51,108 @@ type serverInfo struct {
 // Director is the control centre. All exported methods are safe for
 // concurrent use.
 type Director struct {
-	mu      sync.Mutex
-	jobs    map[string]*Job
-	runs    map[string][]*Run // job → chronological runs (the job chain)
-	nextRun uint64
-	servers []*serverInfo
-	ln      net.Listener
-	logf    func(string, ...any)
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	runs     map[string][]*Run // job → chronological runs (the job chain)
+	nextRun  uint64
+	servers  []*serverInfo
+	ln       net.Listener
+	conns    map[*proto.Conn]struct{} // live handler connections
+	handlers sync.WaitGroup
+	closed   bool
+	logf     func(string, ...any)
+	meta     *metastore.Store // nil: memory-only director
 }
 
 // New returns an empty director.
 func New() *Director {
 	return &Director{
-		jobs: make(map[string]*Job),
-		runs: make(map[string][]*Run),
-		logf: func(string, ...any) {},
+		jobs:  make(map[string]*Job),
+		runs:  make(map[string][]*Run),
+		conns: make(map[*proto.Conn]struct{}),
+		logf:  func(string, ...any) {},
 	}
+}
+
+// metaEvent is one journaled director mutation. Events are gob-encoded
+// and appended to the metastore under the job's name, so per-job replay
+// order matches mutation order.
+type metaEvent struct {
+	Op       byte // 1 = run opened, 2 = file indexed, 3 = job defined
+	Client   string
+	RunID    uint64
+	Started  time.Time
+	Entry    proto.FileEntry
+	Dataset  []string
+	Schedule string
+}
+
+const (
+	evNewRun byte = 1 + iota
+	evFileIndex
+	evDefineJob
+)
+
+// NewDurable returns a director whose job catalog, runs and file indexes
+// persist through the (journal-backed) metastore: existing metadata is
+// replayed on construction and every mutation is journaled. The caller
+// retains ownership of ms and closes it after the director shuts down.
+func NewDurable(ms *metastore.Store) (*Director, error) {
+	d := New()
+	for _, job := range ms.Jobs() {
+		recs, err := ms.Records(job)
+		if err != nil {
+			return nil, fmt.Errorf("director: replaying %q: %w", job, err)
+		}
+		for _, rec := range recs {
+			var ev metaEvent
+			if err := gob.NewDecoder(bytes.NewReader(rec)).Decode(&ev); err != nil {
+				return nil, fmt.Errorf("director: replaying %q: %w", job, err)
+			}
+			switch ev.Op {
+			case evNewRun:
+				if _, ok := d.jobs[job]; !ok {
+					d.jobs[job] = &Job{Name: job, Client: ev.Client}
+				}
+				d.runs[job] = append(d.runs[job], &Run{
+					ID: ev.RunID, Job: job, Client: ev.Client, Started: ev.Started,
+				})
+				if ev.RunID > d.nextRun {
+					d.nextRun = ev.RunID
+				}
+			case evFileIndex:
+				runs := d.runs[job]
+				for i := len(runs) - 1; i >= 0; i-- {
+					if runs[i].ID == ev.RunID {
+						runs[i].Files = append(runs[i].Files, ev.Entry)
+						break
+					}
+				}
+			case evDefineJob:
+				d.jobs[job] = &Job{Name: job, Client: ev.Client, Dataset: ev.Dataset, Schedule: ev.Schedule}
+			default:
+				return nil, fmt.Errorf("director: replaying %q: unknown event op %d", job, ev.Op)
+			}
+		}
+	}
+	d.meta = ms
+	return d, nil
+}
+
+// persist journals one mutation; memory-only directors skip it. It runs
+// under d.mu by design: replay order per job must match mutation order,
+// and d.mu is what serialises mutations. The cost — control-plane RPCs
+// occasionally waiting out a batched journal fsync — is accepted; the
+// data path never goes through the director.
+func (d *Director) persist(job string, ev metaEvent) error {
+	if d.meta == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ev); err != nil {
+		return fmt.Errorf("director: encoding event: %w", err)
+	}
+	return d.meta.Append(job, buf.Bytes())
 }
 
 // SetLogger installs a log function (e.g. log.Printf).
@@ -80,6 +169,11 @@ func (d *Director) DefineJob(j Job) error {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if err := d.persist(j.Name, metaEvent{
+		Op: evDefineJob, Client: j.Client, Dataset: j.Dataset, Schedule: j.Schedule,
+	}); err != nil {
+		return err
+	}
 	d.jobs[j.Name] = &j
 	return nil
 }
@@ -145,6 +239,13 @@ func (d *Director) NewRun(jobName, client string) uint64 {
 	}
 	d.nextRun++
 	run := &Run{ID: d.nextRun, Job: jobName, Client: client, Started: time.Now()}
+	if err := d.persist(jobName, metaEvent{
+		Op: evNewRun, Client: client, RunID: run.ID, Started: run.Started,
+	}); err != nil {
+		// The run proceeds in memory; a journal failure costs durability
+		// of this run only, and the next mutation will surface it again.
+		d.logf("director: journaling run %d of %q: %v", run.ID, jobName, err)
+	}
 	d.runs[jobName] = append(d.runs[jobName], run)
 	return run.ID
 }
@@ -156,6 +257,9 @@ func (d *Director) PutFileIndex(jobName string, runID uint64, e proto.FileEntry)
 	runs := d.runs[jobName]
 	for i := len(runs) - 1; i >= 0; i-- {
 		if runs[i].ID == runID {
+			if err := d.persist(jobName, metaEvent{Op: evFileIndex, RunID: runID, Entry: e}); err != nil {
+				return err
+			}
 			runs[i].Files = append(runs[i].Files, e)
 			return nil
 		}
@@ -243,24 +347,69 @@ func (d *Director) Serve(addr string) (string, error) {
 			if err != nil {
 				return
 			}
-			go d.handle(proto.NewConn(c))
+			conn := proto.NewConn(c)
+			if !d.track(conn) {
+				conn.Close() // raced with Close
+				return
+			}
+			go d.handle(conn)
 		}
 	}()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
-func (d *Director) Close() error {
+// track registers a handler connection; false once the director is closed.
+func (d *Director) track(conn *proto.Conn) bool {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.ln != nil {
-		return d.ln.Close()
+	if d.closed {
+		return false
 	}
-	return nil
+	d.conns[conn] = struct{}{}
+	d.handlers.Add(1)
+	return true
+}
+
+func (d *Director) untrack(conn *proto.Conn) {
+	d.mu.Lock()
+	delete(d.conns, conn)
+	d.mu.Unlock()
+	d.handlers.Done()
+}
+
+// Close stops the listener, drains in-flight handlers (they may be mid
+// journal write — the caller closes the metastore right after Close), and
+// flushes any batched journal writes. The metastore itself stays open;
+// its owner closes it.
+func (d *Director) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	ln := d.ln
+	conns := make([]*proto.Conn, 0, len(d.conns))
+	for c := range d.conns {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	d.handlers.Wait()
+	if d.meta != nil {
+		if serr := d.meta.Sync(); err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 // handle serves one connection (a backup server or a tool).
 func (d *Director) handle(conn *proto.Conn) {
+	defer d.untrack(conn)
 	defer conn.Close()
 	for {
 		msg, err := conn.Recv()

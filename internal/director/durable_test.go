@@ -1,0 +1,129 @@
+package director
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"debar/internal/fp"
+	"debar/internal/metastore"
+	"debar/internal/proto"
+)
+
+func TestDurableDirectorReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.journal")
+	ms, err := metastore.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurable(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DefineJob(Job{Name: "nightly", Client: "host-a", Dataset: []string{"/etc"}, Schedule: "daily"}); err != nil {
+		t.Fatal(err)
+	}
+	run1 := d.NewRun("nightly", "host-a")
+	var chunks []fp.FP
+	for i := 0; i < 3; i++ {
+		chunks = append(chunks, fp.FromUint64(uint64(i+1)))
+	}
+	entry := proto.FileEntry{Path: "/etc/passwd", Mode: 0o644, Size: 1234, Chunks: chunks, Sizes: []uint32{400, 400, 434}}
+	if err := d.PutFileIndex("nightly", run1, entry); err != nil {
+		t.Fatal(err)
+	}
+	run2 := d.NewRun("weekly", "host-b")
+	if run2 != run1+1 {
+		t.Fatalf("run IDs not sequential: %d then %d", run1, run2)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: a fresh metastore over the same journal feeds a fresh
+	// director, which must see the same catalog, runs and file indexes.
+	ms2, err := metastore.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms2.Close()
+	d2, err := NewDurable(ms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := d2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Name != "nightly" || len(jobs[0].Dataset) != 1 || jobs[0].Schedule != "daily" {
+		t.Fatalf("job attributes lost in replay: %+v", jobs[0])
+	}
+	runID, files, err := d2.LatestFiles("nightly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runID != run1 || len(files) != 1 {
+		t.Fatalf("LatestFiles after replay: run %d, %d files", runID, len(files))
+	}
+	got := files[0]
+	if got.Path != entry.Path || got.Size != entry.Size || len(got.Chunks) != len(entry.Chunks) {
+		t.Fatalf("file entry mismatch after replay: %+v", got)
+	}
+	for i := range got.Chunks {
+		if got.Chunks[i] != entry.Chunks[i] || got.Sizes[i] != entry.Sizes[i] {
+			t.Fatalf("chunk %d mismatch after replay", i)
+		}
+	}
+	// Filtering fingerprints for the job chain survive too (§5.1).
+	if fps := d2.FilterFPs("nightly"); len(fps) != len(chunks) {
+		t.Fatalf("FilterFPs after replay: %d, want %d", len(fps), len(chunks))
+	}
+	// New runs continue after the persisted maximum.
+	if run3 := d2.NewRun("nightly", "host-a"); run3 != run2+1 {
+		t.Fatalf("post-replay run ID %d, want %d", run3, run2+1)
+	}
+}
+
+func TestDurableDirectorManyRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.journal")
+	ms, err := metastore.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDurable(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		id := d.NewRun("chain", "host")
+		e := proto.FileEntry{Path: fmt.Sprintf("/f%d", i), Chunks: []fp.FP{fp.FromUint64(uint64(i))}, Sizes: []uint32{8}}
+		if err := d.PutFileIndex("chain", id, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2, err := metastore.Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms2.Close()
+	d2, err := NewDurable(ms2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The latest run's files win the job chain.
+	runID, files, err := d2.LatestFiles("chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runID != runs || len(files) != 1 || files[0].Path != fmt.Sprintf("/f%d", runs-1) {
+		t.Fatalf("latest run after replay: id=%d files=%+v", runID, files)
+	}
+}

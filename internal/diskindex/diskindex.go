@@ -130,6 +130,10 @@ func (ix *Index) Config() Config { return ix.cfg }
 // Count returns the number of entries stored.
 func (ix *Index) Count() int64 { return ix.count }
 
+// SetCount restores the entry count when reopening a persisted index whose
+// occupancy was recorded externally (the storage engine's clean marker).
+func (ix *Index) SetCount(n int64) { ix.count = n }
+
 // Utilization returns count/capacity.
 func (ix *Index) Utilization() float64 {
 	return float64(ix.count) / float64(ix.cfg.Capacity())

@@ -101,5 +101,8 @@ func (s *FileStore) Size() int64 {
 // Truncate resizes the file.
 func (s *FileStore) Truncate(size int64) error { return s.f.Truncate(size) }
 
+// Sync flushes the file to stable storage.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
 // Close closes the underlying file.
 func (s *FileStore) Close() error { return s.f.Close() }

@@ -1,0 +1,176 @@
+package metastore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Journal record framing:
+//
+//	+------------+--------+-------------+-------------+----------+----------+
+//	| crc32c(u32)| op (u8)| jobLen (u16)| recLen (u32)| job bytes| rec bytes|
+//	+------------+--------+-------------+-------------+----------+----------+
+//
+// The checksum covers everything after it. Replay accepts the longest
+// prefix of complete, checksum-valid records and truncates the rest: a
+// torn tail loses only the records that were never acknowledged durable.
+const (
+	opAppend byte = 1
+	opDrop   byte = 2
+
+	journalHeader = 4 + 1 + 2 + 4
+
+	// maxJournalRecord bounds a sane record during recovery scanning; a
+	// file index entry is a path plus chunk fingerprints, far below 64 MB.
+	maxJournalRecord = 64 << 20
+
+	// journalSyncBytes batches fsyncs: the journal is synced once at
+	// least this many bytes accumulate (and on Sync/Close).
+	journalSyncBytes = 256 << 10
+)
+
+var journalCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	end   int64
+	dirty int
+}
+
+// Open opens (creating if needed) a journaled store at path, replaying
+// existing records into a store of the given shard count.
+func Open(path string, shards int) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metastore: open journal: %w", err)
+	}
+	if err := lockJournal(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := New(shards)
+	j := &journal{f: f}
+	if err := j.replay(s); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.journal = j
+	return s, nil
+}
+
+// replay applies the journal's longest valid prefix to s and truncates
+// anything after it.
+func (j *journal) replay(s *Store) error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("metastore: journal stat: %w", err)
+	}
+	fileSize := st.Size()
+	var hdr [journalHeader]byte
+	off := int64(0)
+	for {
+		if off+journalHeader > fileSize {
+			break
+		}
+		if _, err := j.f.ReadAt(hdr[:], off); err != nil {
+			return fmt.Errorf("metastore: journal scan: %w", err)
+		}
+		op := hdr[4]
+		jobLen := int64(binary.BigEndian.Uint16(hdr[5:]))
+		recLen := int64(binary.BigEndian.Uint32(hdr[7:]))
+		if (op != opAppend && op != opDrop) || jobLen == 0 ||
+			recLen > maxJournalRecord || off+journalHeader+jobLen+recLen > fileSize {
+			break // torn or corrupt tail
+		}
+		body := make([]byte, journalHeader-4+jobLen+recLen)
+		copy(body, hdr[4:])
+		if _, err := j.f.ReadAt(body[journalHeader-4:], off+journalHeader); err != nil {
+			return fmt.Errorf("metastore: journal scan: %w", err)
+		}
+		if binary.BigEndian.Uint32(hdr[:4]) != crc32.Checksum(body, journalCastagnoli) {
+			break
+		}
+		job := string(body[journalHeader-4 : journalHeader-4+jobLen])
+		switch op {
+		case opAppend:
+			if err := s.applyAppend(job, body[journalHeader-4+jobLen:]); err != nil {
+				return err
+			}
+		case opDrop:
+			sh := s.shardOf(job)
+			sh.mu.Lock()
+			delete(sh.jobs, job)
+			sh.mu.Unlock()
+		}
+		off += journalHeader + jobLen + recLen
+	}
+	if off < fileSize {
+		if err := j.f.Truncate(off); err != nil {
+			return fmt.Errorf("metastore: truncating torn journal tail: %w", err)
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("metastore: %w", err)
+		}
+	}
+	j.end = off
+	return nil
+}
+
+// writeLocked appends one frame; the caller holds j.mu (the Store extends
+// the critical section over its in-memory apply to keep orders aligned).
+func (j *journal) writeLocked(op byte, job string, rec []byte) error {
+	if len(job) > 1<<16-1 {
+		return fmt.Errorf("metastore: job name %d bytes exceeds journal limit", len(job))
+	}
+	if len(rec) > maxJournalRecord {
+		return fmt.Errorf("metastore: record %d bytes exceeds journal limit", len(rec))
+	}
+	frame := make([]byte, journalHeader+len(job)+len(rec))
+	frame[4] = op
+	binary.BigEndian.PutUint16(frame[5:], uint16(len(job)))
+	binary.BigEndian.PutUint32(frame[7:], uint32(len(rec)))
+	copy(frame[journalHeader:], job)
+	copy(frame[journalHeader+len(job):], rec)
+	binary.BigEndian.PutUint32(frame[:4], crc32.Checksum(frame[4:], journalCastagnoli))
+
+	if _, err := j.f.WriteAt(frame, j.end); err != nil {
+		return fmt.Errorf("metastore: journal append: %w", err)
+	}
+	j.end += int64(len(frame))
+	j.dirty += len(frame)
+	if j.dirty >= journalSyncBytes {
+		return j.syncLocked()
+	}
+	return nil
+}
+
+func (j *journal) sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+func (j *journal) syncLocked() error {
+	if j.dirty == 0 {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("metastore: journal sync: %w", err)
+	}
+	j.dirty = 0
+	return nil
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.syncLocked(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package metastore
+
+import "os"
+
+func lockJournal(f *os.File) error { return nil } // no advisory locking here

@@ -6,6 +6,13 @@
 // Metadata (file indices, job records) is an append stream per job.
 // The store shards jobs over independent lock domains so concurrent jobs
 // never contend, and batches appends into per-job extents.
+//
+// A store opened with Open is additionally backed by an on-disk journal:
+// every Append and Drop is framed with a CRC32-C checksum and written
+// through (fsynced in batches), and Open replays the journal's longest
+// valid prefix — truncating a torn tail — so the director's job catalog
+// and file indexes survive a crash. See internal/store/README.md for the
+// record framing.
 package metastore
 
 import (
@@ -15,9 +22,11 @@ import (
 	"sync"
 )
 
-// Store is a concurrent, sharded, append-oriented metadata store.
+// Store is a concurrent, sharded, append-oriented metadata store,
+// optionally journaled to disk (Open).
 type Store struct {
-	shards []shard
+	shards  []shard
+	journal *journal // nil for memory-only stores
 }
 
 type shard struct {
@@ -72,10 +81,26 @@ func (s *Store) logOf(job string, create bool) (*jobLog, error) {
 }
 
 // Append adds one metadata record to a job's stream. The record is copied.
+// On a journaled store the record is written through before it becomes
+// visible in memory.
 func (s *Store) Append(job string, rec []byte) error {
 	if job == "" {
 		return fmt.Errorf("metastore: empty job name")
 	}
+	if s.journal != nil {
+		// Journal and memory apply under one lock, so the on-disk order a
+		// replay reproduces always matches the order live readers saw.
+		s.journal.mu.Lock()
+		defer s.journal.mu.Unlock()
+		if err := s.journal.writeLocked(opAppend, job, rec); err != nil {
+			return err
+		}
+	}
+	return s.applyAppend(job, rec)
+}
+
+// applyAppend is the in-memory half of Append, shared with journal replay.
+func (s *Store) applyAppend(job string, rec []byte) error {
 	l, err := s.logOf(job, true)
 	if err != nil {
 		return err
@@ -129,10 +154,38 @@ func (s *Store) Jobs() []string {
 
 // Drop removes a job's metadata (retention expiry).
 func (s *Store) Drop(job string) {
+	if job == "" {
+		return // nothing to drop, and the journal must never frame an empty name
+	}
+	if s.journal != nil {
+		// A failed journal write leaves the job in place on replay; the
+		// in-memory drop still proceeds (retention is advisory). The lock
+		// spans the memory update to keep journal and live order aligned.
+		s.journal.mu.Lock()
+		defer s.journal.mu.Unlock()
+		_ = s.journal.writeLocked(opDrop, job, nil)
+	}
 	sh := s.shardOf(job)
 	sh.mu.Lock()
 	delete(sh.jobs, job)
 	sh.mu.Unlock()
+}
+
+// Sync flushes batched journal appends to stable storage (no-op for
+// memory-only stores).
+func (s *Store) Sync() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.sync()
+}
+
+// Close flushes and closes the journal (no-op for memory-only stores).
+func (s *Store) Close() error {
+	if s.journal == nil {
+		return nil
+	}
+	return s.journal.close()
 }
 
 // TotalBytes sums stored metadata across jobs.

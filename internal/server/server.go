@@ -16,6 +16,7 @@ import (
 	"debar/internal/fp"
 	"debar/internal/prefilter"
 	"debar/internal/proto"
+	"debar/internal/store"
 	"debar/internal/tpds"
 )
 
@@ -27,6 +28,16 @@ type Config struct {
 	FilterEntries int  // preliminary filter capacity (0 = unlimited)
 	CacheBits     uint // index cache bucket bits for SIL/SIU
 	DirectorAddr  string
+
+	// Storage wires the server onto a durable store engine: container
+	// repository, disk index and chunk-log WAL all come from the engine,
+	// and the server takes ownership (Close closes it). Nil keeps the
+	// default in-memory stores.
+	Storage *store.Engine
+	// DataDir, when non-empty and Storage is nil, opens (creating if
+	// needed) a store engine at the path with this Config's index
+	// geometry. The daemon binaries set it from -data-dir.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -74,46 +85,84 @@ type session struct {
 type Server struct {
 	cfg Config
 
-	mu       sync.Mutex // sessions, nextSess, ln, conns, addr, serverID
-	sessions map[uint64]*session
-	nextSess uint64
-	conns    map[*proto.Conn]struct{} // accepted, still-open connections
-	ln       net.Listener
-	addr     string
-	serverID int
-	closed   bool
+	mu        sync.Mutex // sessions, nextSess, sessEpoch, ln, conns, addr, serverID
+	sessions  map[uint64]*session
+	nextSess  uint64
+	sessEpoch uint64                   // bumped on every session start/end (quiet detection)
+	conns     map[*proto.Conn]struct{} // accepted, still-open connections
+	handlers  sync.WaitGroup           // in-flight handle goroutines
+	ln        net.Listener
+	addr      string
+	serverID  int
+	closed    bool
 
 	pendMu  sync.Mutex
 	pending []fp.FP // undetermined fingerprints awaiting dedup-2
 	unreg   []fp.Entry
 
+	dedup2Mu sync.Mutex // serialises dedup-2 passes (the disk index scan/update is single-writer)
+
 	restoreMu sync.Mutex // serialises the shared restorer, per chunk
 	log       *chunklog.Log
 	chunk     *tpds.ChunkStore
 	restorer  *tpds.Restorer
+	storage   *store.Engine // nil for in-memory servers
 }
 
-// New builds a backup server over in-memory storage (the daemon binaries
-// wire file-backed stores).
+// New builds a backup server. By default every store is in-memory (tests,
+// experiments); the Storage and DataDir config options wire the server
+// onto a durable store engine instead — containers, index and chunk log
+// all live in one data directory and survive restarts, with crash
+// recovery on open. The daemon binaries wire file-backed stores through
+// -data-dir.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	ix, err := diskindex.NewMem(diskindex.Config{
-		BucketBits:   cfg.IndexBits,
-		BucketBlocks: cfg.IndexBlocks,
-	}, nil)
-	if err != nil {
-		return nil, err
+	eng := cfg.Storage
+	if eng == nil && cfg.DataDir != "" {
+		var err error
+		eng, err = store.Open(cfg.DataDir, store.Options{
+			IndexBits:   cfg.IndexBits,
+			IndexBlocks: cfg.IndexBlocks,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening data dir: %w", err)
+		}
 	}
-	repo := container.NewMemRepository(false, nil)
+
+	var ix *diskindex.Index
+	var repo container.Repository
+	var log *chunklog.Log
+	var pending []fp.FP
+	if eng != nil {
+		ix = eng.Index()
+		repo = eng.Repo()
+		log = eng.ChunkLog()
+		// Chunks logged before a crash re-enter dedup-2 as undetermined
+		// fingerprints (the WAL replay seed).
+		pending = eng.PendingFPs()
+	} else {
+		var err error
+		ix, err = diskindex.NewMem(diskindex.Config{
+			BucketBits:   cfg.IndexBits,
+			BucketBlocks: cfg.IndexBlocks,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		repo = container.NewMemRepository(false, nil)
+		log = chunklog.NewMem(false, nil)
+	}
 	cs := tpds.NewChunkStore(ix, repo, false, true)
 	cs.ContainerSize = cfg.ContainerSize
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
 		conns:    make(map[*proto.Conn]struct{}),
-		log:      chunklog.NewMem(false, nil),
+		log:      log,
 		chunk:    cs,
 		restorer: tpds.NewRestorer(ix, repo, 16),
+		pending:  pending,
+		storage:  eng,
 	}, nil
 }
 
@@ -177,14 +226,16 @@ func (s *Server) track(conn *proto.Conn) bool {
 		return false
 	}
 	s.conns[conn] = struct{}{}
+	s.handlers.Add(1)
 	return true
 }
 
 // untrack forgets a finished connection.
 func (s *Server) untrack(conn *proto.Conn) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.conns, conn)
+	s.mu.Unlock()
+	s.handlers.Done()
 }
 
 // Close stops the listener and closes every active per-connection
@@ -206,6 +257,16 @@ func (s *Server) Close() error {
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	// Handlers may still hold zero-copy slices into the engine's
+	// mappings (restore loops); closing the storage out from under them
+	// would turn a graceful shutdown into a SIGBUS. The closed conns
+	// unblock them promptly.
+	s.handlers.Wait()
+	if s.storage != nil {
+		if serr := s.storage.Close(); err == nil {
+			err = serr
+		}
 	}
 	return err
 }
@@ -301,6 +362,7 @@ func (s *Server) startBackup(m proto.BackupStart) (any, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSess++
+	s.sessEpoch++
 	sess := &session{
 		id:      s.nextSess,
 		jobName: m.JobName,
@@ -429,11 +491,28 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
+	s.sessEpoch++
 	s.mu.Unlock()
 	return done, nil
 }
 
 func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
+	// One pass at a time: SIL/SIU are whole-index scans over a
+	// single-writer structure, and overlapping passes would double-drain
+	// the chunk log.
+	s.dedup2Mu.Lock()
+	defer s.dedup2Mu.Unlock()
+
+	// Quiet detection for the log truncation below: records belonging to
+	// a session that has not reached BackupEnd are in the log but their
+	// fingerprints are not yet pending, so this pass skips their chunks —
+	// truncating would destroy them. The log is only truncated when no
+	// session existed at any point during the pass (epoch unchanged).
+	s.mu.Lock()
+	quiet := len(s.sessions) == 0
+	epoch := s.sessEpoch
+	s.mu.Unlock()
+
 	s.pendMu.Lock()
 	pending := s.pending
 	s.pending = nil
@@ -441,9 +520,6 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 
 	res, unreg, err := s.chunk.RunSILAndStore(pending, s.log, s.cfg.CacheBits)
 	if err != nil {
-		return proto.Dedup2Done{Err: err.Error()}, nil
-	}
-	if err := s.log.Reset(); err != nil {
 		return proto.Dedup2Done{Err: err.Error()}, nil
 	}
 	s.pendMu.Lock()
@@ -459,6 +535,35 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		if _, err := s.chunk.RunSIU(toUpdate); err != nil {
 			return proto.Dedup2Done{Err: err.Error()}, nil
 		}
+	}
+	if s.storage != nil {
+		// Make the pass durable: fsync the index and write the clean
+		// marker, so a restart trusts the index file instead of
+		// rebuilding it from container metadata.
+		if err := s.storage.Checkpoint(); err != nil {
+			return proto.Dedup2Done{Err: err.Error()}, nil
+		}
+	}
+	// Truncate the drained chunk log only when (a) the pass was quiet —
+	// no backup session was in flight, so every logged chunk was either
+	// stored or proven duplicate — and (b) the stored chunks are
+	// reachable through a durable index (after SIU + checkpoint; when SIU
+	// was deferred, a durable server keeps the WAL because the
+	// unregistered entries exist only in memory). s.mu is held across the
+	// truncation: with the session table empty and locked, no session can
+	// start (startBackup needs s.mu) and no chunk can reach the log
+	// (chunkBatch needs a live session), so the quiet invariant holds
+	// atomically with the Reset. A skipped truncation costs nothing but
+	// log space: the records replay as duplicates on the next pass.
+	s.mu.Lock()
+	quiet = quiet && len(s.sessions) == 0 && s.sessEpoch == epoch
+	var resetErr error
+	if quiet && (runSIU || s.storage == nil) {
+		resetErr = s.log.Reset()
+	}
+	s.mu.Unlock()
+	if resetErr != nil {
+		return proto.Dedup2Done{Err: resetErr.Error()}, nil
 	}
 	return proto.Dedup2Done{
 		NewChunks:  res.Store.NewChunks,
