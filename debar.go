@@ -29,7 +29,9 @@ import (
 // Client is a DEBAR backup client (see internal/client). Backup runs a
 // pipelined, windowed data path; the BatchSize, Window and Workers fields
 // tune fingerprints per batch, batches in flight, and the SHA-1 worker
-// pool (zero values select the defaults documented in internal/client).
+// pool. Restore streams chunk batches with receiver-driven flow control,
+// tuned by RestoreBatchSize and RestoreWindow. Zero values select the
+// defaults documented in internal/client.
 type Client = client.Client
 
 // NewClient returns a backup client bound to a backup server address.

@@ -3,6 +3,7 @@ package debar
 import (
 	"bytes"
 	"encoding/binary"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"testing"
@@ -63,8 +64,17 @@ func shutdownDurable(t *testing.T, d *director.Director, ms *metastore.Store, sr
 
 func checkRestore(t *testing.T, saddr, job, srcDir string) {
 	t.Helper()
+	checkRestoreWith(t, saddr, job, srcDir, 0, 0)
+}
+
+// checkRestoreWith restores job and byte-compares it against srcDir,
+// with explicit restore flow-control knobs (0 selects the defaults).
+func checkRestoreWith(t *testing.T, saddr, job, srcDir string, batch, window int) {
+	t.Helper()
 	dest := t.TempDir()
 	c := client.New(saddr, "e2e-restore")
+	c.RestoreBatchSize = batch
+	c.RestoreWindow = window
 	n, err := c.Restore(job, dest)
 	if err != nil {
 		t.Fatalf("restore: %v", err)
@@ -185,6 +195,96 @@ func TestDurabilityCrashBeforeDedup2(t *testing.T) {
 		t.Fatalf("dedup-2 after restart: %v", err)
 	}
 	checkRestore(t, saddr, job, src)
+}
+
+// copyTree snapshots a directory tree byte-for-byte.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurabilityStreamingRestoreAfterKill simulates a SIGKILL of both
+// daemons: the live data directories are snapshotted byte-for-byte while
+// the deployment is still running — exactly the on-disk (page-cache
+// included) state a killed process leaves, with no Close, no engine
+// checkpoint and no WAL truncation — and a fresh deployment boots from
+// the snapshot. Recovery must trust the checkpointed index for the
+// already-stored job, replay the WAL for the pending one, and the
+// chunk-streamed restore path (forced to many small windowed batches)
+// must return every file of both jobs byte-identical.
+func TestDurabilityStreamingRestoreAfterKill(t *testing.T) {
+	dirData, srvData := t.TempDir(), t.TempDir()
+	src1, src2 := t.TempDir(), t.TempDir()
+	rng := newDetRand(23)
+	stored := make([]byte, 2*1024*1024)
+	for i := 0; i < len(stored); i += 8 {
+		binary.LittleEndian.PutUint64(stored[i:], rng.next())
+	}
+	if err := os.WriteFile(filepath.Join(src1, "stored.bin"), stored, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pending := make([]byte, 6*1024*1024)
+	for i := 0; i < len(pending); i += 8 {
+		binary.LittleEndian.PutUint64(pending[i:], rng.next())
+	}
+	if err := os.WriteFile(filepath.Join(src2, "pending.bin"), pending, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const jobStored, jobPending = "kill-stored-job", "kill-pending-job"
+	d, ms, srv, saddr := bootDurable(t, dirData, srvData, nil)
+	c := client.New(saddr, "e2e-kill")
+	if _, err := c.Backup(jobStored, src1); err != nil {
+		t.Fatalf("backup 1: %v", err)
+	}
+	// Job 1 reaches containers + a checkpointed index before the kill.
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatalf("dedup-2: %v", err)
+	}
+	// Job 2's chunks are only in the chunk-log WAL at the kill point.
+	if _, err := c.Backup(jobPending, src2); err != nil {
+		t.Fatalf("backup 2: %v", err)
+	}
+
+	// The kill: snapshot the live state, then (only to release this
+	// process's file locks and mappings) tear down the originals — the
+	// snapshot never sees the graceful shutdown.
+	killDir, killSrv := t.TempDir(), t.TempDir()
+	copyTree(t, dirData, killDir)
+	copyTree(t, srvData, killSrv)
+	shutdownDurable(t, d, ms, srv)
+
+	d, ms, srv, saddr = bootDurable(t, killDir, killSrv, nil)
+	defer shutdownDurable(t, d, ms, srv)
+	// The WAL-recovered fingerprints re-enter dedup-2.
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatalf("dedup-2 after kill: %v", err)
+	}
+	// Many small batches under a tight window: the post-recovery restore
+	// exercises the full streaming exchange, not a single-frame special
+	// case.
+	checkRestoreWith(t, saddr, jobStored, src1, 32, 2)
+	checkRestoreWith(t, saddr, jobPending, src2, 32, 2)
 }
 
 // TestStartLocalDurableRestart covers the StartLocal contract: with

@@ -26,12 +26,29 @@
 //
 // Memory in flight is bounded by roughly Window × BatchSize × the
 // expected chunk size.
+//
+// # Streaming restore
+//
+// Restore mirrors the backup pipeline in reverse: the server streams
+// chunk batches with receiver-driven flow control and the client appends
+// them to the destination file as they arrive (see the internal/proto
+// package comment for the wire exchange), so files of any size restore
+// with bounded memory on both ends. Each chunk is re-fingerprinted
+// against the file index on receipt — corruption in transit or in the
+// chunk store surfaces as an error, never as silently wrong bytes. The
+// restore knobs:
+//
+//   - RestoreBatchSize: chunks per restore batch requested from the
+//     server (default 256, like BatchSize; the server additionally cuts
+//     batches at a byte budget);
+//   - RestoreWindow: restore batches the server may keep in flight
+//     before waiting for the client's acknowledgements (default 4, like
+//     Window).
 package client
 
 import (
 	"fmt"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
@@ -60,6 +77,9 @@ type Client struct {
 	BatchSize  int // fingerprints per FPBatch (default 256)
 	Window     int // FPBatches in flight (default 4)
 	Workers    int // fingerprint worker goroutines (default GOMAXPROCS, max 8)
+
+	RestoreBatchSize int // chunks per restore batch (default 256)
+	RestoreWindow    int // restore batches in flight before the server awaits acks (default 4)
 }
 
 // New returns a client for the given backup server.
@@ -153,7 +173,8 @@ func (c *Client) batch() int {
 	return c.BatchSize
 }
 
-// Restore retrieves every file of jobName's latest run into destDir.
+// Restore retrieves every file of jobName's latest run into destDir,
+// streaming each file's chunk batches straight to disk (see restore.go).
 func (c *Client) Restore(jobName, destDir string) (int, error) {
 	conn, err := proto.Dial(c.ServerAddr)
 	if err != nil {
@@ -178,29 +199,7 @@ func (c *Client) Restore(jobName, destDir string) (int, error) {
 
 	restored := 0
 	for _, path := range list.Paths {
-		if err := conn.Send(proto.RestoreFile{JobName: jobName, Path: path}); err != nil {
-			return restored, err
-		}
-		msg, err := conn.Recv()
-		if err != nil {
-			return restored, err
-		}
-		data, ok := msg.(proto.RestoreData)
-		if !ok {
-			if ack, is := msg.(proto.Ack); is {
-				return restored, fmt.Errorf("client: restore %s: %s", path, ack.Err)
-			}
-			return restored, fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
-		}
-		dst := filepath.Join(destDir, filepath.FromSlash(data.Entry.Path))
-		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-			return restored, err
-		}
-		mode := fs.FileMode(data.Entry.Mode)
-		if mode.Perm() == 0 {
-			mode = 0o644
-		}
-		if err := os.WriteFile(dst, data.Data, mode.Perm()); err != nil {
+		if err := c.restoreOne(conn, jobName, path, destDir); err != nil {
 			return restored, err
 		}
 		restored++

@@ -1,0 +1,147 @@
+package client
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"debar/internal/fp"
+	"debar/internal/proto"
+)
+
+// restoreBatch returns the chunks-per-batch the client requests from the
+// restore stream.
+func (c *Client) restoreBatch() int {
+	if c.RestoreBatchSize <= 0 {
+		return 256
+	}
+	return c.RestoreBatchSize
+}
+
+// restoreWindow returns the requested number of restore batches in flight.
+func (c *Client) restoreWindow() int {
+	if c.RestoreWindow <= 0 {
+		return defaultWindow
+	}
+	return c.RestoreWindow
+}
+
+// safeJoin joins an entry path under destDir, rejecting any path that
+// would escape it: absolute paths, paths that traverse upward (`..`, in
+// raw or normalised form), and empty or `.` paths. Entry paths come from
+// the server's metadata — a corrupt or hostile entry must not be able to
+// write outside the restore destination.
+func safeJoin(destDir, entryPath string) (string, error) {
+	p := filepath.FromSlash(entryPath)
+	// IsLocal rejects absolute paths, upward traversal (raw or hidden
+	// behind `.`/`..` normalisation) and empty paths — but accepts ".",
+	// which would name destDir itself rather than a file inside it.
+	if !filepath.IsLocal(p) || filepath.Clean(p) == "." {
+		return "", fmt.Errorf("client: restore entry path %q escapes the destination directory", entryPath)
+	}
+	return filepath.Join(destDir, p), nil
+}
+
+// restoreOne streams one file of jobName from the server into destDir:
+// it opens the chunk-streamed exchange, appends batches to a temporary
+// file as they arrive (acknowledging each to keep the server's window
+// open), and re-fingerprints every chunk against the file index. Only a
+// complete, verified stream is renamed onto the destination path, so a
+// failure never leaves a partial file behind — and never disturbs a
+// pre-existing file at the destination. The caller abandons the
+// connection on error, so no protocol resynchronisation is needed.
+func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string) (err error) {
+	if err := conn.Send(proto.RestoreFile{
+		JobName:     jobName,
+		Path:        path,
+		BatchChunks: c.restoreBatch(),
+		Window:      c.restoreWindow(),
+	}); err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return err
+	}
+	begin, ok := msg.(proto.RestoreBegin)
+	if !ok {
+		if ack, is := msg.(proto.Ack); is {
+			return fmt.Errorf("client: restore %s: %s", path, ack.Err)
+		}
+		return fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
+	}
+	entry := begin.Entry
+
+	dst, err := safeJoin(destDir, entry.Path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return err
+	}
+	mode := fs.FileMode(entry.Mode).Perm()
+	if mode == 0 {
+		mode = 0o644
+	}
+	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".restore-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if f != nil {
+			f.Close()
+		}
+		if err != nil {
+			os.Remove(tmp) // never leave a partial or unverified file behind
+		}
+	}()
+	if err := f.Chmod(mode); err != nil {
+		return err
+	}
+
+	idx := 0
+	var written int64
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("client: restore %s interrupted: %w", path, err)
+		}
+		switch m := msg.(type) {
+		case proto.RestoreChunkBatch:
+			for _, chunk := range m.Data {
+				if idx >= len(entry.Chunks) {
+					return fmt.Errorf("client: restore %s: server sent more chunks than the file index holds", path)
+				}
+				if fp.New(chunk) != entry.Chunks[idx] {
+					return fmt.Errorf("client: restore %s: chunk %d fingerprint mismatch (corruption in transit or store)", path, idx)
+				}
+				if _, err := f.Write(chunk); err != nil {
+					return err
+				}
+				written += int64(len(chunk))
+				idx++
+			}
+			if err := conn.Send(proto.RestoreAck{Seq: m.Seq}); err != nil {
+				return err
+			}
+		case proto.RestoreDone:
+			if m.Err != "" {
+				return fmt.Errorf("client: restore %s: %s", path, m.Err)
+			}
+			if idx != len(entry.Chunks) || written != entry.Size {
+				return fmt.Errorf("client: restore %s: stream ended after %d/%d chunks, %d/%d bytes",
+					path, idx, len(entry.Chunks), written, entry.Size)
+			}
+			cf := f
+			f = nil
+			if err := cf.Close(); err != nil {
+				return err
+			}
+			return os.Rename(tmp, dst)
+		default:
+			return fmt.Errorf("client: unexpected %T during restore stream", msg)
+		}
+	}
+}

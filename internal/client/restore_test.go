@@ -1,0 +1,53 @@
+package client
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSafeJoin covers the path-traversal guard on restore: entry paths
+// come from server metadata, so a crafted or corrupt entry must never
+// resolve outside the destination directory.
+func TestSafeJoin(t *testing.T) {
+	dest := filepath.Join("/restore", "dest")
+	ok := []struct{ entry, want string }{
+		{"file.bin", filepath.Join(dest, "file.bin")},
+		{"sub/dir/file.bin", filepath.Join(dest, "sub", "dir", "file.bin")},
+		{"a/./b", filepath.Join(dest, "a", "b")},         // `.` segments normalise away
+		{"a/../b", filepath.Join(dest, "b")},             // inner `..` stays contained
+		{"..data/file", filepath.Join(dest, "..data", "file")}, // `..` prefix in a name is not traversal
+	}
+	for _, tc := range ok {
+		got, err := safeJoin(dest, tc.entry)
+		if err != nil {
+			t.Errorf("safeJoin(%q) unexpectedly rejected: %v", tc.entry, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("safeJoin(%q) = %q, want %q", tc.entry, got, tc.want)
+		}
+	}
+
+	bad := []string{
+		"../evil",          // plain upward traversal
+		"../../etc/passwd", // deep traversal
+		"sub/../../evil",   // traversal hidden behind a normal prefix
+		"a/b/../../../c",   // `.`-normalised form escapes after cleaning
+		"..",               // bare parent
+		"/etc/passwd",      // absolute path
+		"/",                // bare root
+		".",                // resolves to destDir itself, not a file
+		"",                 // empty entry path
+	}
+	for _, entry := range bad {
+		got, err := safeJoin(dest, entry)
+		if err == nil {
+			t.Errorf("safeJoin(%q) = %q, want rejection", entry, got)
+			continue
+		}
+		if !strings.Contains(err.Error(), "escapes") {
+			t.Errorf("safeJoin(%q) error = %v, want traversal rejection", entry, err)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"debar/internal/chunker"
 	"debar/internal/fp"
@@ -51,23 +50,31 @@ func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
 	}
 
 	for _, path := range list.Paths {
-		if err := conn.Send(proto.RestoreFile{JobName: jobName, Path: path}); err != nil {
+		// Metadata-only request: the entry's chunk fingerprints are all
+		// verify compares against, so no chunk data ever moves.
+		if err := conn.Send(proto.RestoreMeta{JobName: jobName, Path: path}); err != nil {
 			return res, err
 		}
 		msg, err := conn.Recv()
 		if err != nil {
 			return res, err
 		}
-		data, ok := msg.(proto.RestoreData)
+		meta, ok := msg.(proto.RestoreBegin)
 		if !ok {
 			if ack, is := msg.(proto.Ack); is {
 				return res, fmt.Errorf("client: verify %s: %s", path, ack.Err)
 			}
-			return res, fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
+			return res, fmt.Errorf("client: unexpected RestoreMeta reply %T", msg)
 		}
 		res.Checked++
-		local := filepath.Join(dir, filepath.FromSlash(path))
-		match, err := c.fileMatches(local, data.Entry)
+		// Same traversal guard as restore: a hostile or corrupt server
+		// path must not make verify read (and fingerprint-compare) files
+		// outside the tree being verified.
+		local, err := safeJoin(dir, path)
+		if err != nil {
+			return res, err
+		}
+		match, err := c.fileMatches(local, meta.Entry)
 		if errors.Is(err, os.ErrNotExist) {
 			res.Missing = append(res.Missing, path)
 			continue

@@ -63,9 +63,14 @@ func (m *MemStore) Truncate(size int64) error {
 	return nil
 }
 
-// FileStore is a file-backed Store used by the daemon binaries.
+// FileStore is a file-backed Store used by the daemon binaries. Calls
+// are serialised with a readers–writer lock: pread/pwrite give no
+// atomicity guarantee for multi-byte ranges, and the restore path reads
+// buckets concurrently with dedup-2's bucket rewrites — without the
+// lock a lookup could see a torn, half-written bucket.
 type FileStore struct {
-	f *os.File
+	mu sync.RWMutex
+	f  *os.File
 }
 
 // OpenFileStore opens (creating if needed) the index file at path.
@@ -79,18 +84,24 @@ func OpenFileStore(path string) (*FileStore, error) {
 
 // ReadAt implements Store.
 func (s *FileStore) ReadAt(p []byte, off int64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	_, err := s.f.ReadAt(p, off)
 	return err
 }
 
 // WriteAt implements Store.
 func (s *FileStore) WriteAt(p []byte, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	_, err := s.f.WriteAt(p, off)
 	return err
 }
 
 // Size returns the current file size.
 func (s *FileStore) Size() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	st, err := s.f.Stat()
 	if err != nil {
 		return 0
@@ -99,7 +110,11 @@ func (s *FileStore) Size() int64 {
 }
 
 // Truncate resizes the file.
-func (s *FileStore) Truncate(size int64) error { return s.f.Truncate(size) }
+func (s *FileStore) Truncate(size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Truncate(size)
+}
 
 // Sync flushes the file to stable storage.
 func (s *FileStore) Sync() error { return s.f.Sync() }

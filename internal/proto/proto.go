@@ -10,14 +10,43 @@
 //	+-----+----------------+----------------------+
 //
 // The one-byte tag selects the payload codec. The hot data-path messages
-// (FPBatch, FPVerdicts, ChunkBatch, Ack, RestoreData) use compact
-// hand-rolled binary layouts (tags 1–5) with pooled encode/decode buffers;
-// chunk payloads are sliced out of the receive buffer without copying.
-// Every other (control-plane) message is carried as a self-contained gob
-// stream under tag 0, so adding new control messages never requires a new
-// binary codec: unknown structs simply fall back to gob. Old and new peers
-// interoperate as long as both frame their messages — a tag-0 frame is
-// decodable by any peer with the types registered below.
+// (FPBatch, FPVerdicts, ChunkBatch, Ack, RestoreBegin, RestoreChunkBatch,
+// RestoreAck) use compact hand-rolled binary layouts (tags 1–7) with
+// pooled encode/decode buffers; chunk payloads are sliced out of the
+// receive buffer without copying. Every other (control-plane) message is
+// carried as a self-contained gob stream under tag 0, so adding new
+// control messages never requires a new binary codec: unknown structs
+// simply fall back to gob. Old and new peers interoperate as long as both
+// frame their messages — a tag-0 frame is decodable by any peer with the
+// types registered below.
+//
+// # Restore streaming
+//
+// Restore is chunk-streamed with receiver-driven flow control, mirroring
+// the windowed backup pipeline. The exchange for one file:
+//
+//	client                                server
+//	  │ ── RestoreFile{job, path, batch, win} ──▶ │
+//	  │ ◀── RestoreBegin{entry, batch, win} ───── │  (or Ack{OK:false})
+//	  │ ◀── RestoreChunkBatch{seq=0, data} ────── │
+//	  │ ◀── RestoreChunkBatch{seq=1, data} ────── │
+//	  │ ── RestoreAck{seq=0} ──────────────────▶  │
+//	  │            ... repeat ...                 │
+//	  │ ◀── RestoreDone{chunks, bytes} ────────── │  (Err aborts mid-stream)
+//
+// RestoreChunkBatch frames carry consecutive chunk payloads in file
+// order; the client appends them to the destination file as they arrive
+// and acknowledges every batch. The server keeps at most the granted
+// window of unacknowledged batches in flight, so neither end ever
+// buffers more than window × batch bytes: arbitrarily large files
+// restore with bounded memory. Batches are cut at the granted chunk
+// count or at a server-side byte budget, whichever comes first, keeping
+// every frame far below MaxFrame. A server-side failure mid-stream is
+// reported in-band via RestoreDone.Err after which the server drains the
+// outstanding acks, leaving the connection usable for the next request.
+// RestoreMeta fetches only the FileEntry (answered with a body-less
+// RestoreBegin), which is how verify compares fingerprints without
+// moving chunk data.
 //
 // Conn.Send and Conn.Recv are each safe for use by one goroutine at a
 // time; sends and receives may proceed concurrently with each other,
@@ -40,21 +69,22 @@ import (
 )
 
 // Frame tags. Tag 0 is the gob fallback for control-plane messages; tags
-// 1–5 are the binary codecs for the hot data-path messages.
+// 1–7 are the binary codecs for the hot data-path messages.
 const (
 	tagGob byte = iota
 	tagFPBatch
 	tagFPVerdicts
 	tagChunkBatch
 	tagAck
-	tagRestoreData
+	tagRestoreBegin
+	tagRestoreChunkBatch
+	tagRestoreAck
 )
 
 // MaxFrame bounds a frame payload (1 GB): a defence against corrupt or
-// hostile length prefixes, far above any legitimate batch. Senders of
-// potentially-huge messages (whole-file RestoreData) must check their
-// payload against it and answer with a protocol-level error instead of
-// letting the send fail mid-connection.
+// hostile length prefixes, far above any legitimate batch. No message
+// scales with file size any more — restores stream bounded chunk batches
+// — so legitimate frames sit orders of magnitude below this limit.
 const MaxFrame = 1 << 30
 
 // bufPool recycles encode/decode scratch buffers across connections.
@@ -123,8 +153,12 @@ func (c *Conn) Send(msg any) error {
 		tag, buf = tagChunkBatch, m.encode(buf)
 	case Ack:
 		tag, buf = tagAck, m.encode(buf)
-	case RestoreData:
-		tag, buf = tagRestoreData, m.encode(buf)
+	case RestoreBegin:
+		tag, buf = tagRestoreBegin, m.encode(buf)
+	case RestoreChunkBatch:
+		tag, buf = tagRestoreChunkBatch, m.encode(buf)
+	case RestoreAck:
+		tag, buf = tagRestoreAck, m.encode(buf)
 	default:
 		var gb bytes.Buffer
 		if err := gob.NewEncoder(&gb).Encode(&msg); err != nil {
@@ -173,7 +207,7 @@ func (c *Conn) Recv() (any, error) {
 	}
 
 	switch tag {
-	case tagChunkBatch, tagRestoreData:
+	case tagChunkBatch, tagRestoreChunkBatch:
 		// Zero-copy path: the payload buffer's ownership passes to the
 		// decoded message, whose Data slices alias it — so it is NOT
 		// pooled.
@@ -188,7 +222,7 @@ func (c *Conn) Recv() (any, error) {
 			}
 			return m, nil
 		}
-		var m RestoreData
+		var m RestoreChunkBatch
 		if err := m.decode(payload); err != nil {
 			return nil, err
 		}
@@ -211,6 +245,14 @@ func (c *Conn) Recv() (any, error) {
 			return m, err
 		case tagAck:
 			var m Ack
+			err := m.decode(payload)
+			return m, err
+		case tagRestoreBegin:
+			var m RestoreBegin
+			err := m.decode(payload)
+			return m, err
+		case tagRestoreAck:
+			var m RestoreAck
 			err := m.decode(payload)
 			return m, err
 		case tagGob:
@@ -416,18 +458,76 @@ func decodeFileEntry(p []byte) (FileEntry, []byte, error) {
 	return e, p[n*4:], nil
 }
 
-func (m RestoreData) encode(buf []byte) []byte {
+func (m RestoreBegin) encode(buf []byte) []byte {
 	buf = appendFileEntry(buf, m.Entry)
-	return append(buf, m.Data...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.BatchChunks))
+	return binary.BigEndian.AppendUint32(buf, uint32(m.Window))
 }
 
-func (m *RestoreData) decode(p []byte) error {
+func (m *RestoreBegin) decode(p []byte) error {
 	e, rest, err := decodeFileEntry(p)
 	if err != nil {
 		return err
 	}
+	if len(rest) != 8 {
+		return errShort("RestoreBegin")
+	}
 	m.Entry = e
-	m.Data = rest // aliases the receive buffer: zero copy
+	m.BatchChunks = int(binary.BigEndian.Uint32(rest))
+	m.Window = int(binary.BigEndian.Uint32(rest[4:]))
+	return nil
+}
+
+func (m RestoreChunkBatch) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
+	for _, d := range m.Data {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(d)))
+	}
+	for _, d := range m.Data {
+		buf = append(buf, d...)
+	}
+	return buf
+}
+
+func (m *RestoreChunkBatch) decode(p []byte) error {
+	if len(p) < 12 {
+		return errShort("RestoreChunkBatch")
+	}
+	m.Seq = binary.BigEndian.Uint64(p)
+	n := int(binary.BigEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) < n*4 {
+		return errShort("RestoreChunkBatch")
+	}
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = int(binary.BigEndian.Uint32(p[i*4:]))
+	}
+	p = p[n*4:]
+	m.Data = make([][]byte, n)
+	for i, sz := range sizes {
+		if len(p) < sz {
+			return errShort("RestoreChunkBatch")
+		}
+		m.Data[i] = p[:sz:sz] // aliases the receive buffer: zero copy
+		p = p[sz:]
+	}
+	if len(p) != 0 {
+		return errShort("RestoreChunkBatch")
+	}
+	return nil
+}
+
+func (m RestoreAck) encode(buf []byte) []byte {
+	return binary.BigEndian.AppendUint64(buf, m.Seq)
+}
+
+func (m *RestoreAck) decode(p []byte) error {
+	if len(p) != 8 {
+		return errShort("RestoreAck")
+	}
+	m.Seq = binary.BigEndian.Uint64(p)
 	return nil
 }
 
@@ -506,17 +606,57 @@ type BackupDone struct {
 	NewFingerprints  int64
 }
 
-// RestoreFile asks for a file's content from a previous job run.
+// RestoreFile asks for a file's content from a previous job run, opening
+// a chunk-streamed restore exchange (see the package comment). The
+// receiver sizes its own flow control: BatchChunks bounds the chunks per
+// RestoreChunkBatch and Window the unacknowledged batches the server may
+// keep in flight. Zero selects the server defaults; the server clamps
+// both and echoes the granted values in RestoreBegin.
 type RestoreFile struct {
+	JobName     string
+	Path        string
+	BatchChunks int
+	Window      int
+}
+
+// RestoreMeta asks for a file's entry only — metadata plus the chunk
+// fingerprint index, no chunk data. Answered with a RestoreBegin carrying
+// the entry (no stream follows). Verify uses this to compare a multi-GB
+// job while moving kilobytes.
+type RestoreMeta struct {
 	JobName string
 	Path    string
 }
 
-// RestoreData streams a restored file (single message for simplicity;
-// chunk-level streaming is layered above for large files).
-type RestoreData struct {
-	Entry FileEntry
-	Data  []byte
+// RestoreBegin opens a restore stream (or answers RestoreMeta): the
+// file's entry plus the granted flow-control parameters.
+type RestoreBegin struct {
+	Entry       FileEntry
+	BatchChunks int
+	Window      int
+}
+
+// RestoreChunkBatch carries consecutive chunk payloads of the file being
+// restored, in file order. Seq numbers batches from 0 within one
+// exchange; the client acknowledges each batch by its Seq.
+type RestoreChunkBatch struct {
+	Seq  uint64
+	Data [][]byte
+}
+
+// RestoreAck credits one received restore batch back to the server,
+// opening the window for another batch.
+type RestoreAck struct {
+	Seq uint64
+}
+
+// RestoreDone ends a restore stream with the totals the client should
+// have seen. A non-empty Err aborts the stream: the file could not be
+// fully read back and the client must discard the partial content.
+type RestoreDone struct {
+	Chunks int64
+	Bytes  int64
+	Err    string
 }
 
 // ListFiles asks which files a job's latest run contains.
@@ -598,7 +738,8 @@ func init() {
 	for _, m := range []any{
 		BackupStart{}, BackupStartOK{}, FPBatch{}, FPVerdicts{},
 		ChunkBatch{}, Ack{}, FileMeta{}, BackupEnd{}, BackupDone{},
-		RestoreFile{}, RestoreData{}, ListFiles{}, FileList{},
+		RestoreFile{}, RestoreMeta{}, RestoreBegin{}, RestoreChunkBatch{},
+		RestoreAck{}, RestoreDone{}, ListFiles{}, FileList{},
 		Dedup2Request{}, Dedup2Done{},
 		RegisterServer{}, RegisterOK{}, PutFileIndex{}, GetJobFiles{},
 		JobFiles{}, GetFilterFPs{}, FilterFPs{}, NewRun{}, NewRunOK{},

@@ -49,8 +49,13 @@ func TestRoundTripAllMessages(t *testing.T) {
 		FileMeta{SessionID: 7, Entry: entry},
 		BackupEnd{SessionID: 7},
 		BackupDone{LogicalBytes: 1, TransferredBytes: 2, NewFingerprints: 3},
-		RestoreFile{JobName: "j", Path: "p"},
-		RestoreData{Entry: entry, Data: []byte("data")},
+		RestoreFile{JobName: "j", Path: "p", BatchChunks: 128, Window: 2},
+		RestoreMeta{JobName: "j", Path: "p"},
+		RestoreBegin{Entry: entry, BatchChunks: 256, Window: 4},
+		RestoreChunkBatch{Seq: 3, Data: [][]byte{[]byte("xyz"), []byte("q")}},
+		RestoreAck{Seq: 3},
+		RestoreDone{Chunks: 2, Bytes: 4},
+		RestoreDone{Err: "boom"},
 		ListFiles{JobName: "j"},
 		FileList{Paths: []string{"a", "b"}},
 		Dedup2Request{RunSIU: true},
@@ -139,12 +144,16 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 		ChunkBatch{SessionID: 5},
 		Ack{OK: true},
 		Ack{OK: false, Err: "some failure"},
-		RestoreData{
+		RestoreBegin{
 			Entry: FileEntry{Path: "a/b", Mode: 0o600, Size: 9,
 				Chunks: fps[:2], Sizes: sizes[:2]},
-			Data: []byte("nine byte"),
+			BatchChunks: 256, Window: 4,
 		},
-		RestoreData{}, // all-zero entry
+		RestoreBegin{}, // all-zero entry
+		RestoreChunkBatch{Seq: 7, Data: data},
+		RestoreChunkBatch{Seq: 8},
+		RestoreAck{Seq: 7},
+		RestoreAck{},
 	}
 
 	go func() {
@@ -199,10 +208,17 @@ func normalize(m any) any {
 			}
 		}
 		return v
-	case RestoreData:
+	case RestoreBegin:
 		v.Entry = normEntry(v.Entry)
+		return v
+	case RestoreChunkBatch:
 		if len(v.Data) == 0 {
 			v.Data = nil
+		}
+		for i, d := range v.Data {
+			if len(d) == 0 {
+				v.Data[i] = nil
+			}
 		}
 		return v
 	default:
@@ -225,7 +241,9 @@ func TestTruncatedFrames(t *testing.T) {
 		FPVerdicts{Seq: 2, Need: []bool{true, false, true}},
 		ChunkBatch{SessionID: 1, FPs: []fp.FP{fp.FromUint64(1)}, Data: [][]byte{[]byte("abc")}},
 		Ack{OK: true, Err: "x"},
-		RestoreData{Entry: FileEntry{Path: "p", Chunks: []fp.FP{fp.FromUint64(2)}, Sizes: []uint32{3}}, Data: []byte("abc")},
+		RestoreBegin{Entry: FileEntry{Path: "p", Chunks: []fp.FP{fp.FromUint64(2)}, Sizes: []uint32{3}}, BatchChunks: 1, Window: 1},
+		RestoreChunkBatch{Seq: 1, Data: [][]byte{[]byte("abc"), []byte("d")}},
+		RestoreAck{Seq: 9},
 	}
 	for _, m := range msgs {
 		var wire bytes.Buffer

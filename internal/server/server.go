@@ -29,6 +29,15 @@ type Config struct {
 	CacheBits     uint // index cache bucket bits for SIL/SIU
 	DirectorAddr  string
 
+	// RestoreBatchChunks and RestoreWindow are the restore-stream flow
+	// control defaults granted to clients that do not size their own
+	// (proto.RestoreFile fields left zero): chunks per RestoreChunkBatch
+	// and unacknowledged batches in flight. Client requests are clamped
+	// to hard caps regardless (maxRestoreBatchChunks, maxRestoreWindow),
+	// and every batch is additionally cut at maxRestoreBatchBytes.
+	RestoreBatchChunks int // default 256
+	RestoreWindow      int // default 4
+
 	// Storage wires the server onto a durable store engine: container
 	// repository, disk index and chunk-log WAL all come from the engine,
 	// and the server takes ownership (Close closes it). Nil keeps the
@@ -53,7 +62,41 @@ func (c Config) withDefaults() Config {
 	if c.CacheBits == 0 {
 		c.CacheBits = 12
 	}
+	if c.RestoreBatchChunks == 0 {
+		c.RestoreBatchChunks = 256
+	}
+	if c.RestoreWindow == 0 {
+		c.RestoreWindow = 4
+	}
 	return c
+}
+
+// Hard caps on client-requested restore flow control, and the byte budget
+// at which a batch is cut regardless of its chunk count. 4 MB keeps every
+// frame far below proto.MaxFrame even at the maximum chunk size while
+// amortising the per-frame overhead.
+const (
+	maxRestoreBatchChunks = 4096
+	maxRestoreWindow      = 64
+	maxRestoreBatchBytes  = 4 << 20
+)
+
+// clampRestore resolves a client-requested flow-control value against the
+// server default and hard cap. The floor of 1 also guards against a
+// negative default from a misconfigured Config (withDefaults only
+// replaces zero): a window below 1 would wrap to a huge uint64 and
+// disable flow control entirely.
+func clampRestore(req, def, max int) int {
+	if req <= 0 {
+		req = def
+	}
+	if req > max {
+		req = max
+	}
+	if req < 1 {
+		req = 1
+	}
+	return req
 }
 
 // session is one client backup session (one job run). Its mutex makes the
@@ -78,10 +121,12 @@ type session struct {
 // Locking is deliberately fine-grained: mu guards only connection
 // lifecycle and the session table; each session carries its own lock;
 // pendMu guards the dedup-2 hand-off state (pending undetermined
-// fingerprints, unregistered entries); restoreMu serialises the shared
-// Restorer per chunk (never across a whole file reassembly); the chunk
-// log has its own internal lock. No server-wide lock is ever held across
-// a data-path batch or a restore loop.
+// fingerprints, unregistered entries); the shared Restorer is internally
+// synchronised with its lock scoped to the LPC cache state, so
+// concurrent restore streams overlap at chunk granularity instead of
+// queueing behind a server-wide restore lock; the chunk log has its own
+// internal lock. No server-wide lock is ever held across a data-path
+// batch or a restore loop.
 type Server struct {
 	cfg Config
 
@@ -102,11 +147,10 @@ type Server struct {
 
 	dedup2Mu sync.Mutex // serialises dedup-2 passes (the disk index scan/update is single-writer)
 
-	restoreMu sync.Mutex // serialises the shared restorer, per chunk
-	log       *chunklog.Log
-	chunk     *tpds.ChunkStore
-	restorer  *tpds.Restorer
-	storage   *store.Engine // nil for in-memory servers
+	log      *chunklog.Log
+	chunk    *tpds.ChunkStore
+	restorer *tpds.Restorer // internally synchronised
+	storage  *store.Engine  // nil for in-memory servers
 }
 
 // New builds a backup server. By default every store is in-memory (tests,
@@ -292,15 +336,38 @@ func (s *Server) directorCall(req any) (any, error) {
 	return conn.Recv()
 }
 
+// jobFilesCache memoises one job's file entries for the lifetime of a
+// connection, so restoring or verifying an N-file job fetches the
+// director's entry list once instead of once per file (O(N²) metadata
+// traffic otherwise) and resolves each path in O(1) instead of a linear
+// scan. Pinning the list also gives one restore pass a consistent run
+// snapshot even if a new run of the job completes while it streams.
+// Owned by a single handler goroutine — no locking.
+type jobFilesCache struct {
+	job     string
+	entries map[string]proto.FileEntry
+}
+
 func (s *Server) handle(conn *proto.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
+	var jfc jobFilesCache
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			return
 		}
-		reply, err := s.dispatch(msg)
+		// RestoreFile opens a multi-frame exchange (batches out, acks in)
+		// rather than one reply, so it bypasses the request/response
+		// dispatch. streamRestore only errors when the connection itself
+		// is dead.
+		if rf, ok := msg.(proto.RestoreFile); ok {
+			if err := s.streamRestore(conn, &jfc, rf); err != nil {
+				return
+			}
+			continue
+		}
+		reply, err := s.dispatch(msg, &jfc)
 		if err != nil {
 			reply = proto.Ack{OK: false, Err: err.Error()}
 		}
@@ -310,7 +377,7 @@ func (s *Server) handle(conn *proto.Conn) {
 	}
 }
 
-func (s *Server) dispatch(msg any) (any, error) {
+func (s *Server) dispatch(msg any, jfc *jobFilesCache) (any, error) {
 	switch m := msg.(type) {
 	case proto.BackupStart:
 		return s.startBackup(m)
@@ -324,8 +391,8 @@ func (s *Server) dispatch(msg any) (any, error) {
 		return s.endBackup(m)
 	case proto.ListFiles:
 		return s.listFiles(m)
-	case proto.RestoreFile:
-		return s.restoreFile(m)
+	case proto.RestoreMeta:
+		return s.restoreMeta(m, jfc)
 	case proto.Dedup2Request:
 		return s.runDedup2(m)
 	default:
@@ -591,44 +658,144 @@ func (s *Server) listFiles(m proto.ListFiles) (any, error) {
 	}
 }
 
-func (s *Server) restoreFile(m proto.RestoreFile) (any, error) {
-	reply, err := s.directorCall(proto.GetJobFiles{JobName: m.JobName})
+// lookupEntry resolves one file's entry from the director's metadata for
+// the job's latest run, through the connection's job-files cache.
+func (s *Server) lookupEntry(jfc *jobFilesCache, jobName, path string) (proto.FileEntry, error) {
+	if jfc.job != jobName || jfc.entries == nil {
+		reply, err := s.directorCall(proto.GetJobFiles{JobName: jobName})
+		if err != nil {
+			return proto.FileEntry{}, err
+		}
+		files, ok := reply.(proto.JobFiles)
+		if !ok {
+			if ack, is := reply.(proto.Ack); is {
+				return proto.FileEntry{}, errors.New(ack.Err)
+			}
+			return proto.FileEntry{}, fmt.Errorf("server: unexpected reply %T", reply)
+		}
+		byPath := make(map[string]proto.FileEntry, len(files.Entries))
+		for _, e := range files.Entries {
+			byPath[e.Path] = e
+		}
+		jfc.job, jfc.entries = jobName, byPath
+	}
+	if e, ok := jfc.entries[path]; ok {
+		return e, nil
+	}
+	return proto.FileEntry{}, fmt.Errorf("server: %s not found in job %q", path, jobName)
+}
+
+// restoreMeta answers a metadata-only restore request: the entry (chunk
+// fingerprints included) with no data stream, which is all verify needs.
+func (s *Server) restoreMeta(m proto.RestoreMeta, jfc *jobFilesCache) (any, error) {
+	e, err := s.lookupEntry(jfc, m.JobName, m.Path)
 	if err != nil {
 		return nil, err
 	}
-	files, ok := reply.(proto.JobFiles)
-	if !ok {
-		if ack, is := reply.(proto.Ack); is {
-			return nil, errors.New(ack.Err)
-		}
-		return nil, fmt.Errorf("server: unexpected reply %T", reply)
+	return proto.RestoreBegin{Entry: e}, nil
+}
+
+// streamRestore serves one chunk-streamed restore exchange on conn (see
+// the internal/proto package comment for the wire sequence). The file is
+// never materialised: chunks are read through the LPC at chunk
+// granularity — the restorer is internally synchronised, so concurrent
+// restores and backups interleave — and shipped in bounded batches with
+// at most the granted window unacknowledged. The returned error is
+// connection-fatal (the peer is gone); failures before the stream opens
+// are answered with an Ack and failures mid-stream are reported in-band
+// via RestoreDone.Err, leaving the connection usable for the next
+// request.
+func (s *Server) streamRestore(conn *proto.Conn, jfc *jobFilesCache, m proto.RestoreFile) error {
+	e, err := s.lookupEntry(jfc, m.JobName, m.Path)
+	if err != nil {
+		return conn.Send(proto.Ack{OK: false, Err: err.Error()})
 	}
-	for _, e := range files.Entries {
-		if e.Path != m.Path {
-			continue
+	batch := clampRestore(m.BatchChunks, s.cfg.RestoreBatchChunks, maxRestoreBatchChunks)
+	window := clampRestore(m.Window, s.cfg.RestoreWindow, maxRestoreWindow)
+	if err := conn.Send(proto.RestoreBegin{Entry: e, BatchChunks: batch, Window: window}); err != nil {
+		return err
+	}
+
+	var (
+		seq       uint64 // next batch sequence number
+		acked     uint64 // acks consumed so far
+		sentBytes int64
+		chunks    int64
+	)
+	recvAck := func() error {
+		msg, err := conn.Recv()
+		if err != nil {
+			return err
 		}
-		// RestoreData still ships a whole file in one frame; refuse
-		// files that cannot fit rather than dying mid-send (chunk-level
-		// restore streaming is a ROADMAP item).
-		if e.Size > proto.MaxFrame-(16<<20) {
-			return nil, fmt.Errorf("server: %s is %d bytes, larger than the %d-byte restore frame limit",
-				e.Path, e.Size, proto.MaxFrame)
+		ack, ok := msg.(proto.RestoreAck)
+		if !ok {
+			return fmt.Errorf("server: unexpected %T during restore stream", msg)
 		}
-		// Reassemble from the chunk repository through LPC (§3.3). The
-		// restorer lock is taken per chunk, never across the whole loop,
-		// so concurrent restores and backups interleave at chunk
-		// granularity.
-		data := make([]byte, 0, e.Size)
-		for _, f := range e.Chunks {
-			s.restoreMu.Lock()
-			chunk, err := s.restorer.Chunk(f)
-			s.restoreMu.Unlock()
-			if err != nil {
-				return nil, fmt.Errorf("server: restoring %s: %w", e.Path, err)
+		if ack.Seq != acked {
+			return fmt.Errorf("server: restore ack for batch %d, expected %d", ack.Seq, acked)
+		}
+		acked++
+		return nil
+	}
+	// abort reports a mid-stream failure in-band, then drains the acks
+	// for batches already sent so the connection returns to the request
+	// loop in a known state.
+	abort := func(streamErr error) error {
+		if err := conn.Send(proto.RestoreDone{Err: streamErr.Error()}); err != nil {
+			return err
+		}
+		for acked < seq {
+			if err := recvAck(); err != nil {
+				return err
 			}
-			data = append(data, chunk...)
 		}
-		return proto.RestoreData{Entry: e, Data: data}, nil
+		return nil
 	}
-	return nil, fmt.Errorf("server: %s not found in job %q", m.Path, m.JobName)
+
+	// The batch accumulates chunk slices aliasing the repository's
+	// storage (mmap or cached container): nothing is copied until Send
+	// encodes the frame, so server-side restore memory is one batch of
+	// references plus the pooled encode buffer.
+	data := make([][]byte, 0, batch)
+	var dataBytes int
+	flush := func() error {
+		if len(data) == 0 {
+			return nil
+		}
+		for seq-acked >= uint64(window) {
+			if err := recvAck(); err != nil {
+				return err
+			}
+		}
+		if err := conn.Send(proto.RestoreChunkBatch{Seq: seq, Data: data}); err != nil {
+			return err
+		}
+		seq++
+		chunks += int64(len(data))
+		data, dataBytes = data[:0], 0
+		return nil
+	}
+	for _, f := range e.Chunks {
+		chunk, err := s.restorer.Chunk(f)
+		if err != nil {
+			return abort(fmt.Errorf("server: restoring %s: %w", e.Path, err))
+		}
+		data = append(data, chunk)
+		dataBytes += len(chunk)
+		sentBytes += int64(len(chunk))
+		if len(data) >= batch || dataBytes >= maxRestoreBatchBytes {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	for acked < seq {
+		if err := recvAck(); err != nil {
+			return err
+		}
+	}
+	return conn.Send(proto.RestoreDone{Chunks: chunks, Bytes: sentBytes})
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package debar
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the gigabyte-scale restore test skips itself under it.
+const raceEnabled = false
