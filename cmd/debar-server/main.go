@@ -24,6 +24,7 @@ func main() {
 	dir := flag.String("director", "", "director address (required for metadata)")
 	indexBits := flag.Uint("index-bits", 0, "disk index bucket bits, 2^n buckets (0 = default: 18 in-memory; a data dir keeps its manifest geometry)")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory stores)")
+	silWorkers := flag.Int("sil-workers", 0, "dedup-2 SIL workers: index regions scanned in parallel (0 = derive from GOMAXPROCS, 1 = serialized)")
 	flag.Parse()
 	if *indexBits == 0 && *dataDir == "" {
 		// Memory-backed default stays 2^18 buckets; for a data dir an
@@ -36,6 +37,7 @@ func main() {
 		DirectorAddr: *dir,
 		IndexBits:    *indexBits,
 		DataDir:      *dataDir,
+		SILWorkers:   *silWorkers,
 	})
 	if err != nil {
 		log.Fatalf("debar-server: %v", err)

@@ -14,8 +14,8 @@ func TestSafeJoin(t *testing.T) {
 	ok := []struct{ entry, want string }{
 		{"file.bin", filepath.Join(dest, "file.bin")},
 		{"sub/dir/file.bin", filepath.Join(dest, "sub", "dir", "file.bin")},
-		{"a/./b", filepath.Join(dest, "a", "b")},         // `.` segments normalise away
-		{"a/../b", filepath.Join(dest, "b")},             // inner `..` stays contained
+		{"a/./b", filepath.Join(dest, "a", "b")},               // `.` segments normalise away
+		{"a/../b", filepath.Join(dest, "b")},                   // inner `..` stays contained
 		{"..data/file", filepath.Join(dest, "..data", "file")}, // `..` prefix in a name is not traversal
 	}
 	for _, tc := range ok {

@@ -199,9 +199,12 @@ func bucketFull(bucket []byte, nslots int) bool {
 // Insert places e using the random-access path: read the target bucket,
 // write the entry, overflowing to an adjacent bucket when full (§4.1).
 // It charges one random write (read-modify-write) per touched bucket.
-// Insert does not check for duplicates; DEBAR only inserts fingerprints
-// SIL has proven new. It returns ErrIndexFull when the target and both
-// neighbours are full.
+// A fingerprint already present keeps its existing mapping and the insert
+// is a no-op (the first fingerprint→container mapping wins, matching
+// Window.InsertInWindow) — DEBAR normally only inserts fingerprints SIL
+// has proven new, but recovery replay and SIU retries after a partial
+// failure re-offer entries that may already be stored. It returns
+// ErrIndexFull when the target and both neighbours are full.
 func (ix *Index) Insert(e fp.Entry) error {
 	k := ix.BucketOf(e.FP)
 	nslots := ix.cfg.EntriesPerBucket()
@@ -214,7 +217,10 @@ func (ix *Index) Insert(e fp.Entry) error {
 		if ix.disk != nil {
 			ix.disk.RandWrite(1)
 		}
-		_, _, _, free := scanBucket(buf, e.FP, nslots)
+		_, _, found, free := scanBucket(buf, e.FP, nslots)
+		if found {
+			return true, nil // already mapped; keep the existing entry
+		}
 		if free < 0 {
 			return false, nil
 		}

@@ -1,0 +1,104 @@
+package diskindex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Region is one contiguous range of index buckets, [Start, End). Because a
+// fingerprint's leading bits are its bucket number (§4.1), a region is
+// equivalently a contiguous fingerprint-prefix range, so the bucket space
+// shards naturally into regions that can be scanned independently — the
+// in-process analogue of the paper's performance scaling by the first w
+// fingerprint bits (§4.1, §5.2).
+type Region struct {
+	Start uint64 // first bucket in the region
+	End   uint64 // one past the last bucket
+}
+
+// Buckets returns the number of buckets the region covers.
+func (r Region) Buckets() uint64 { return r.End - r.Start }
+
+// Contains reports whether bucket k lies in the region.
+func (r Region) Contains(k uint64) bool { return k >= r.Start && k < r.End }
+
+// Regions splits the index's bucket space into p contiguous regions of
+// near-equal size (the first buckets%p regions hold one extra bucket, so
+// any p — including ones that do not divide the power-of-two bucket count —
+// yields a balanced, gap-free, non-overlapping cover). p is clamped to
+// [1, Buckets()].
+func (ix *Index) Regions(p int) []Region {
+	total := ix.cfg.Buckets()
+	if p < 1 {
+		p = 1
+	}
+	if uint64(p) > total {
+		p = int(total)
+	}
+	regions := make([]Region, p)
+	base, extra := total/uint64(p), total%uint64(p)
+	start := uint64(0)
+	for i := range regions {
+		n := base
+		if uint64(i) < extra {
+			n++
+		}
+		regions[i] = Region{Start: start, End: start + n}
+		start += n
+	}
+	return regions
+}
+
+// RegionOf returns the index of the region containing bucket k. regions
+// must be a sorted, contiguous cover of the bucket space (as produced by
+// Regions).
+func RegionOf(regions []Region, k uint64) int {
+	// First region whose End exceeds k.
+	return sort.Search(len(regions), func(i int) bool { return regions[i].End > k })
+}
+
+// ScanRegion sequentially reads the buckets of one region in windows of up
+// to scanBuckets buckets, invoking fn on each read-only window: the I/O
+// engine of one parallel-SIL worker. It charges the region's share of the
+// sequential read to the disk model (the Clock is internally synchronised,
+// so concurrent region scans account safely; on a single simulated spindle
+// the charges serialise, which is the conservative model — wall-clock
+// parallel speedup is measured by the end-to-end benchmarks, not the
+// simulator). The backing Store must support concurrent readers, which
+// both MemStore and FileStore do (readers–writer locking).
+func (ix *Index) ScanRegion(r Region, scanBuckets int, fn func(*Window) error) error {
+	if r.Start > r.End || r.End > ix.cfg.Buckets() {
+		return fmt.Errorf("diskindex: region [%d,%d) outside bucket space [0,%d)", r.Start, r.End, ix.cfg.Buckets())
+	}
+	if scanBuckets <= 0 {
+		scanBuckets = DefaultScanBuckets
+	}
+	bb := ix.cfg.BucketBytes()
+	n := r.Buckets()
+	if n == 0 {
+		return nil
+	}
+	window := uint64(scanBuckets)
+	if window > n {
+		window = n
+	}
+	buf := make([]byte, window*uint64(bb))
+	for start := r.Start; start < r.End; start += uint64(scanBuckets) {
+		count := uint64(scanBuckets)
+		if rem := r.End - start; rem < count {
+			count = rem
+		}
+		chunk := buf[:count*uint64(bb)]
+		if err := ix.store.ReadAt(chunk, ix.bucketOff(start)); err != nil {
+			return err
+		}
+		if ix.disk != nil {
+			ix.disk.SeqRead(int64(len(chunk)))
+		}
+		w := &Window{ix: ix, Start: start, Count: int(count), buf: chunk}
+		if err := fn(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package diskindex
+
+import (
+	"sync"
+	"testing"
+
+	"debar/internal/fp"
+)
+
+func TestRegionsCoverBucketSpace(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 10, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := ix.Config().Buckets()
+	for _, p := range []int{1, 2, 4, 7, 13, 1024, 5000, 0, -3} {
+		regions := ix.Regions(p)
+		want := p
+		if want < 1 {
+			want = 1
+		}
+		if uint64(want) > total {
+			want = int(total)
+		}
+		if len(regions) != want {
+			t.Fatalf("Regions(%d) returned %d regions, want %d", p, len(regions), want)
+		}
+		// Gap-free contiguous cover, balanced within one bucket.
+		next := uint64(0)
+		min, max := total, uint64(0)
+		for _, r := range regions {
+			if r.Start != next {
+				t.Fatalf("Regions(%d): region starts at %d, want %d", p, r.Start, next)
+			}
+			if r.End <= r.Start {
+				t.Fatalf("Regions(%d): empty region [%d,%d)", p, r.Start, r.End)
+			}
+			n := r.Buckets()
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+			next = r.End
+		}
+		if next != total {
+			t.Fatalf("Regions(%d) covers [0,%d), want [0,%d)", p, next, total)
+		}
+		if max > 0 && max-min > 1 {
+			t.Fatalf("Regions(%d) unbalanced: sizes range [%d,%d]", p, min, max)
+		}
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 10, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 7} {
+		regions := ix.Regions(p)
+		for k := uint64(0); k < ix.Config().Buckets(); k++ {
+			i := RegionOf(regions, k)
+			if !regions[i].Contains(k) {
+				t.Fatalf("p=%d: RegionOf(%d) = %d = [%d,%d), does not contain it", p, k, i, regions[i].Start, regions[i].End)
+			}
+		}
+	}
+}
+
+// TestScanRegionMatchesScan asserts that concatenating the entries seen by
+// per-region scans (in region order) reproduces exactly what one full
+// sequential Scan sees, for even and uneven splits and for scan windows
+// that straddle region boundaries.
+func TestScanRegionMatchesScan(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 9, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := ix.Insert(fp.Entry{FP: fp.FromUint64(uint64(i)), CID: fp.ContainerID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(scan func(fn func(*Window) error) error) []fp.Entry {
+		var out []fp.Entry
+		if err := scan(func(w *Window) error {
+			w.ForEachEntry(func(_ uint64, e fp.Entry) { out = append(out, e) })
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	full := collect(func(fn func(*Window) error) error { return ix.Scan(31, fn) })
+
+	for _, p := range []int{1, 3, 7, 16} {
+		var sharded []fp.Entry
+		for _, r := range ix.Regions(p) {
+			region := r
+			sharded = append(sharded, collect(func(fn func(*Window) error) error {
+				return ix.ScanRegion(region, 31, fn)
+			})...)
+		}
+		if len(sharded) != len(full) {
+			t.Fatalf("p=%d: region scans saw %d entries, full scan %d", p, len(sharded), len(full))
+		}
+		for i := range full {
+			if sharded[i] != full[i] {
+				t.Fatalf("p=%d: entry %d differs: %+v vs %+v", p, i, sharded[i], full[i])
+			}
+		}
+	}
+}
+
+// TestScanRegionConcurrent scans disjoint regions from parallel goroutines
+// (the parallel-SIL access pattern) under the race detector.
+func TestScanRegionConcurrent(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 10, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := ix.Insert(fp.Entry{FP: fp.FromUint64(uint64(i)), CID: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	regions := ix.Regions(8)
+	counts := make([]int64, len(regions))
+	var wg sync.WaitGroup
+	for i, r := range regions {
+		wg.Add(1)
+		go func(i int, r Region) {
+			defer wg.Done()
+			_ = ix.ScanRegion(r, 64, func(w *Window) error {
+				w.ForEachEntry(func(_ uint64, e fp.Entry) { counts[i]++ })
+				return nil
+			})
+		}(i, r)
+	}
+	wg.Wait()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 5000 {
+		t.Fatalf("concurrent region scans saw %d entries, want 5000", total)
+	}
+}
+
+func TestScanRegionBounds(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 4, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.ScanRegion(Region{Start: 0, End: 17}, 4, func(*Window) error { return nil }); err == nil {
+		t.Fatal("out-of-range region accepted")
+	}
+	if err := ix.ScanRegion(Region{Start: 5, End: 3}, 4, func(*Window) error { return nil }); err == nil {
+		t.Fatal("inverted region accepted")
+	}
+	if err := ix.ScanRegion(Region{Start: 3, End: 3}, 4, func(*Window) error { t.Fatal("callback on empty region"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertIdempotent: re-offering an entry (recovery replay, SIU retry
+// after partial failure) must keep the existing mapping, not burn a slot.
+func TestInsertIdempotent(t *testing.T) {
+	ix, err := NewMem(Config{BucketBits: 6, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := fp.Entry{FP: fp.FromUint64(99), CID: 5}
+	for i := 0; i < 3; i++ {
+		if err := ix.Insert(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Insert(fp.Entry{FP: e.FP, CID: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Count() != 1 {
+		t.Fatalf("Count = %d after re-inserts, want 1", ix.Count())
+	}
+	cid, err := ix.Lookup(e.FP)
+	if err != nil || cid != 5 {
+		t.Fatalf("Lookup = %v, %v; want first mapping 5", cid, err)
+	}
+}

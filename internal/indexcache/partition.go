@@ -1,0 +1,84 @@
+package indexcache
+
+import (
+	"fmt"
+
+	"debar/internal/fp"
+)
+
+// Partitioned shards an index cache by fingerprint-prefix region, mirroring
+// a disk-index region split (diskindex.Regions): shard i holds exactly the
+// undetermined fingerprints whose home bucket lies in region i, so one SIL
+// worker per region can probe and prune its shard with no locking and no
+// cross-shard traffic. Because buckets are fingerprint prefixes, the shards
+// together hold the same number-ordered content a single Cache would, just
+// cut at region boundaries.
+//
+// Insert routes through the partition; all per-shard operations (Remove,
+// SetCID, Collect, ...) go directly through Shard(i). The zero worker case
+// is a Partitioned of one shard, identical to a plain Cache.
+type Partitioned struct {
+	shards []*Cache
+	route  func(fp.FP) int
+}
+
+// NewPartitioned returns a cache partitioned into n shards, each a full
+// Cache with 2^mbits buckets (shards only populate the buckets of their own
+// region, so the extra bucket headers are the only overhead). route maps a
+// fingerprint to its shard and must be total over [0, n).
+func NewPartitioned(mbits uint, n int, route func(fp.FP) int) *Partitioned {
+	if n < 1 {
+		n = 1
+	}
+	p := &Partitioned{shards: make([]*Cache, n), route: route}
+	for i := range p.shards {
+		p.shards[i] = New(mbits, 0)
+	}
+	return p
+}
+
+// Shards returns the number of shards.
+func (p *Partitioned) Shards() int { return len(p.shards) }
+
+// Shard returns shard i for exclusive use by its region's worker.
+func (p *Partitioned) Shard(i int) *Cache { return p.shards[i] }
+
+// RouteOf returns the shard index a fingerprint maps to.
+func (p *Partitioned) RouteOf(f fp.FP) int {
+	i := p.route(f)
+	if i < 0 || i >= len(p.shards) {
+		panic(fmt.Sprintf("indexcache: route sent %v to shard %d of %d", f.Short(), i, len(p.shards)))
+	}
+	return i
+}
+
+// Insert adds f to its home shard with a nil container ID, reporting
+// whether it was newly inserted (false: already present).
+func (p *Partitioned) Insert(f fp.FP) (bool, error) {
+	return p.shards[p.RouteOf(f)].Insert(f)
+}
+
+// Lookup finds f in its home shard.
+func (p *Partitioned) Lookup(f fp.FP) (Node, bool) {
+	return p.shards[p.RouteOf(f)].Lookup(f)
+}
+
+// Len returns the total fingerprints cached across shards.
+func (p *Partitioned) Len() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// Collect concatenates the shards' entries in shard order. Since shards are
+// contiguous prefix regions and each shard collects in cache-bucket order,
+// the result is in the same global prefix order a single Cache would yield.
+func (p *Partitioned) Collect() []fp.Entry {
+	out := make([]fp.Entry, 0, p.Len())
+	for _, s := range p.shards {
+		out = append(out, s.Collect()...)
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package indexcache
+
+import (
+	"testing"
+
+	"debar/internal/fp"
+)
+
+// route4 partitions by the top two fingerprint bits: four contiguous
+// prefix regions, the same shape a 4-way diskindex region split produces.
+func route4(f fp.FP) int { return int(f.Prefix(2)) }
+
+func TestPartitionedRoutesByPrefix(t *testing.T) {
+	p := NewPartitioned(6, 4, route4)
+	if p.Shards() != 4 {
+		t.Fatalf("Shards() = %d", p.Shards())
+	}
+	var fps []fp.FP
+	for i := 0; i < 1000; i++ {
+		f := fp.FromUint64(uint64(i))
+		fps = append(fps, f)
+		ok, err := p.Insert(f)
+		if err != nil || !ok {
+			t.Fatalf("Insert(%v) = %v, %v", f.Short(), ok, err)
+		}
+	}
+	// Re-insert: duplicates rejected through the same routing.
+	for _, f := range fps {
+		if ok, _ := p.Insert(f); ok {
+			t.Fatalf("duplicate %v accepted", f.Short())
+		}
+	}
+	if p.Len() != 1000 {
+		t.Fatalf("Len() = %d, want 1000", p.Len())
+	}
+	// Every fingerprint lives in exactly its routed shard.
+	for _, f := range fps {
+		home := p.RouteOf(f)
+		for i := 0; i < p.Shards(); i++ {
+			if got := p.Shard(i).Contains(f); got != (i == home) {
+				t.Fatalf("%v: shard %d contains=%v, home=%d", f.Short(), i, got, home)
+			}
+		}
+		if _, ok := p.Lookup(f); !ok {
+			t.Fatalf("Lookup(%v) missed", f.Short())
+		}
+	}
+}
+
+// TestPartitionedCollectPrefixOrder asserts Collect yields the shards'
+// entries grouped by ascending prefix region — the concatenation order the
+// SIU merge relies on.
+func TestPartitionedCollectPrefixOrder(t *testing.T) {
+	p := NewPartitioned(6, 4, route4)
+	for i := 0; i < 500; i++ {
+		if _, err := p.Insert(fp.FromUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := p.Collect()
+	if len(entries) != 500 {
+		t.Fatalf("Collect returned %d entries", len(entries))
+	}
+	lastRegion := -1
+	for _, e := range entries {
+		r := route4(e.FP)
+		if r < lastRegion {
+			t.Fatalf("Collect out of region order: %d after %d", r, lastRegion)
+		}
+		lastRegion = r
+	}
+}
+
+// TestPartitionedMatchesPlainCache asserts a partitioned cache holds the
+// same content as a single cache fed the same stream, and that SIL-style
+// removals on shards account identically.
+func TestPartitionedMatchesPlainCache(t *testing.T) {
+	plain := New(6, 0)
+	part := NewPartitioned(6, 4, route4)
+	for i := 0; i < 800; i++ {
+		f := fp.FromUint64(uint64(i))
+		plain.Insert(f)
+		part.Insert(f)
+	}
+	removedPlain, removedPart := 0, 0
+	for i := 0; i < 800; i += 3 {
+		f := fp.FromUint64(uint64(i))
+		if plain.Remove(f) {
+			removedPlain++
+		}
+		if part.Shard(part.RouteOf(f)).Remove(f) {
+			removedPart++
+		}
+	}
+	if removedPlain != removedPart {
+		t.Fatalf("removed %d from plain, %d from partitioned", removedPlain, removedPart)
+	}
+	if plain.Len() != part.Len() {
+		t.Fatalf("Len: plain %d, partitioned %d", plain.Len(), part.Len())
+	}
+	got := make(map[fp.FP]bool)
+	for _, e := range part.Collect() {
+		got[e.FP] = true
+	}
+	for _, e := range plain.Collect() {
+		if !got[e.FP] {
+			t.Fatalf("%v in plain cache but not partitioned", e.FP.Short())
+		}
+	}
+}
+
+func TestPartitionedRouteOutOfRangePanics(t *testing.T) {
+	p := NewPartitioned(4, 2, func(fp.FP) int { return 7 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range route did not panic")
+		}
+	}()
+	p.Insert(fp.FromUint64(1))
+}

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 
 	"debar/internal/chunklog"
@@ -37,6 +38,14 @@ type Config struct {
 	// and every batch is additionally cut at maxRestoreBatchBytes.
 	RestoreBatchChunks int // default 256
 	RestoreWindow      int // default 4
+
+	// SILWorkers is the dedup-2 parallelism: the disk index splits into
+	// this many contiguous fingerprint-prefix regions, each scanned by its
+	// own SIL worker with overlapped per-region container packing (see
+	// internal/tpds, "Region-sharded dedup-2"). 0 derives the worker count
+	// from GOMAXPROCS (capped at maxSILWorkers); 1 keeps the serialized
+	// single-pass dedup-2.
+	SILWorkers int
 
 	// Storage wires the server onto a durable store engine: container
 	// repository, disk index and chunk-log WAL all come from the engine,
@@ -68,8 +77,23 @@ func (c Config) withDefaults() Config {
 	if c.RestoreWindow == 0 {
 		c.RestoreWindow = 4
 	}
+	if c.SILWorkers == 0 {
+		c.SILWorkers = runtime.GOMAXPROCS(0)
+		if c.SILWorkers > maxSILWorkers {
+			c.SILWorkers = maxSILWorkers
+		}
+	}
+	if c.SILWorkers < 1 {
+		c.SILWorkers = 1
+	}
 	return c
 }
+
+// maxSILWorkers caps the GOMAXPROCS-derived dedup-2 parallelism: past a
+// handful of workers the per-region scans stop being the bottleneck while
+// the staged-container memory and log re-read amplification keep growing.
+// An explicit Config.SILWorkers overrides the cap.
+const maxSILWorkers = 8
 
 // Hard caps on client-requested restore flow control, and the byte budget
 // at which a batch is cut regardless of its chunk count. 4 MB keeps every
@@ -145,7 +169,11 @@ type Server struct {
 	pending []fp.FP // undetermined fingerprints awaiting dedup-2
 	unreg   []fp.Entry
 
-	dedup2Mu sync.Mutex // serialises dedup-2 passes (the disk index scan/update is single-writer)
+	// dedup2Mu serialises dedup-2 passes: SIU is a whole-index
+	// read-modify-write and overlapping passes would double-drain the
+	// chunk log. Within one pass, SIL and chunk storing shard across
+	// cfg.SILWorkers index regions (internal/tpds).
+	dedup2Mu sync.Mutex
 
 	log      *chunklog.Log
 	chunk    *tpds.ChunkStore
@@ -198,6 +226,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	cs := tpds.NewChunkStore(ix, repo, false, true)
 	cs.ContainerSize = cfg.ContainerSize
+	cs.Workers = cfg.SILWorkers
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
@@ -587,6 +616,14 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 
 	res, unreg, err := s.chunk.RunSILAndStore(pending, s.log, s.cfg.CacheBits)
 	if err != nil {
+		// The log was not truncated, so the chunks are intact — but only
+		// reachable by a retry if their fingerprints stay pending.
+		// Dropping them would let the next pass discard the records as
+		// not-undetermined and a later quiet pass truncate them away
+		// while file recipes still reference the fingerprints.
+		s.pendMu.Lock()
+		s.pending = append(pending, s.pending...)
+		s.pendMu.Unlock()
 		return proto.Dedup2Done{Err: err.Error()}, nil
 	}
 	s.pendMu.Lock()
@@ -600,6 +637,12 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	s.pendMu.Unlock()
 	if runSIU {
 		if _, err := s.chunk.RunSIU(toUpdate); err != nil {
+			// Keep the entries for the next SIU attempt; a partial SIU is
+			// safe to retry (the window path tolerates re-inserting an
+			// already-written entry).
+			s.pendMu.Lock()
+			s.unreg = append(toUpdate, s.unreg...)
+			s.pendMu.Unlock()
 			return proto.Dedup2Done{Err: err.Error()}, nil
 		}
 	}

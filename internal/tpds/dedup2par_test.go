@@ -1,0 +1,410 @@
+package tpds
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"debar/internal/chunklog"
+	"debar/internal/container"
+	"debar/internal/diskindex"
+	"debar/internal/fp"
+	"debar/internal/indexcache"
+)
+
+// dedup2Fixture is one independent dedup-2 engine instance (fresh index,
+// repository, checking file) plus the payloads it has been fed, so the
+// sequential and sharded paths can run the same workload side by side.
+type dedup2Fixture struct {
+	ix       *diskindex.Index
+	repo     *container.MemRepository
+	cs       *ChunkStore
+	payloads map[fp.FP][]byte
+}
+
+func newDedup2Fixture(t *testing.T, workers int) *dedup2Fixture {
+	t.Helper()
+	ix, err := diskindex.NewMem(diskindex.Config{BucketBits: 10, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := container.NewMemRepository(false, nil)
+	cs := NewChunkStore(ix, repo, false, true) // async: checking file active
+	cs.ContainerSize = 4 << 10                 // many containers per region
+	cs.ScanBuckets = 37                        // windows that straddle region edges
+	cs.Workers = workers
+	return &dedup2Fixture{ix: ix, repo: repo, cs: cs, payloads: make(map[fp.FP][]byte)}
+}
+
+// feed builds a chunk log holding the payloads for counter values
+// [start, start+n), re-logging every loggedTwice'th record to exercise the
+// intra-log duplicate guard, and returns the log with its undetermined set.
+func (fx *dedup2Fixture) feed(start, n int, loggedTwice int) (*chunklog.Log, []fp.FP) {
+	log := chunklog.NewMem(false, nil)
+	var und []fp.FP
+	for i := 0; i < n; i++ {
+		data := []byte(fmt.Sprintf("chunk-payload-%05d-%s", start+i, bytes.Repeat([]byte{byte(start + i)}, 64)))
+		f := fp.New(data)
+		fx.payloads[f] = data
+		und = append(und, f)
+		_ = log.Append(f, uint32(len(data)), data)
+		if loggedTwice > 0 && i%loggedTwice == 0 {
+			_ = log.Append(f, uint32(len(data)), data)
+		}
+	}
+	return log, und
+}
+
+// run drives the fixture through the same three-pass workload every
+// instance of the equivalence test uses: two overlapping first-generation
+// passes sharing one deferred SIU (checking-file traffic), then a
+// duplicate-heavy second generation.
+func (fx *dedup2Fixture) run(t *testing.T) (resA, resB, resC Dedup2Result) {
+	t.Helper()
+	logA, undA := fx.feed(0, 400, 7)
+	resA, unregA, err := fx.cs.RunSILAndStore(undA, logA, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pass B overlaps A by 150 fingerprints before any SIU has run: those
+	// must fall to the checking file, not be stored twice.
+	logB, undB := fx.feed(250, 300, 0)
+	resB, unregB, err := fx.cs.RunSILAndStore(undB, logB, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.cs.RunSIU(append(unregA, unregB...)); err != nil {
+		t.Fatal(err)
+	}
+	// Second generation: all 550 previous chunks again (index duplicates
+	// now) plus 100 new ones.
+	logC, undC := fx.feed(0, 650, 11)
+	resC, unregC, err := fx.cs.RunSILAndStore(undC, logC, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fx.cs.RunSIU(unregC); err != nil {
+		t.Fatal(err)
+	}
+	return resA, resB, resC
+}
+
+// decisions strips the time fields and the sealed-container count from a
+// Dedup2Result: everything left is a dedup decision (duplicate vs new
+// verdicts and byte totals), which must be identical across worker counts.
+// The container count is layout, not a decision — each region seals its own
+// tail container, so sharded packing can seal a few more than sequential.
+func decisions(r Dedup2Result) Dedup2Result {
+	r.SILTime, r.StoreTime, r.SIUTime = 0, 0, 0
+	r.Store.Containers = 0
+	return r
+}
+
+// indexImage serialises the index's full bucket layout. withCIDs=false
+// masks the container-ID bytes, leaving bucket numbers, slot positions and
+// fingerprints — the layout that must be byte-identical across worker
+// counts (container IDs are region-relative under sharded packing, so they
+// are compared only where packing order is provably identical, P=1).
+func indexImage(t *testing.T, ix *diskindex.Index, withCIDs bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	err := ix.ForEach(func(bucket uint64, e fp.Entry) bool {
+		fmt.Fprintf(&buf, "%d:%s", bucket, e.FP)
+		if withCIDs {
+			fmt.Fprintf(&buf, ":%v", e.CID)
+		}
+		buf.WriteByte('\n')
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// verifyRestorable asserts every payload ever fed restores byte-identical
+// through the index and repository.
+func (fx *dedup2Fixture) verifyRestorable(t *testing.T) {
+	t.Helper()
+	for f, want := range fx.payloads {
+		cid, err := fx.ix.Lookup(f)
+		if err != nil {
+			t.Fatalf("lookup %v: %v", f.Short(), err)
+		}
+		c, err := fx.repo.Load(cid)
+		if err != nil {
+			t.Fatalf("load container %v for %v: %v", cid, f.Short(), err)
+		}
+		got, ok := c.Chunk(f)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("chunk %v: restored %d bytes, ok=%v, want %d", f.Short(), len(got), ok, len(want))
+		}
+	}
+}
+
+// TestShardedDedup2Equivalence runs the identical three-pass workload
+// through the sequential path and through the sharded path at P = 1, 2, 4
+// and 7 workers (7 does not divide the 1024-bucket space, so the region
+// split is uneven) and asserts byte-identical dedup decisions and index
+// state: identical duplicate/new verdicts and counters in every pass,
+// identical bucket/slot/fingerprint layout after SIU, and every chunk
+// restorable. At P=1 the sharded path's single region packs in global
+// stream order, so there the comparison includes container IDs and the
+// repository image too.
+func TestShardedDedup2Equivalence(t *testing.T) {
+	seq := newDedup2Fixture(t, 1)
+	seqA, seqB, seqC := seq.run(t)
+	if seqC.IndexDups != 550 {
+		t.Fatalf("workload sanity: second generation found %d index dups, want 550", seqC.IndexDups)
+	}
+	if seqB.CheckingDups != 150 {
+		t.Fatalf("workload sanity: overlapping pass found %d checking dups, want 150", seqB.CheckingDups)
+	}
+	seqLayout := indexImage(t, seq.ix, false)
+
+	for _, p := range []int{1, 2, 4, 7} {
+		t.Run(fmt.Sprintf("P=%d", p), func(t *testing.T) {
+			sh := newDedup2Fixture(t, p)
+			if p == 1 {
+				// Workers=1 normally short-circuits to the sequential
+				// path; force the sharded machinery so the single-region
+				// degenerate case is covered too.
+				sh.cs.Workers = 0
+				runForced := func(und []fp.FP, log *chunklog.Log) (Dedup2Result, []fp.Entry, error) {
+					return sh.cs.runSILAndStoreParallel(und, log, 6, 1)
+				}
+				logA, undA := sh.feed(0, 400, 7)
+				resA, unregA, err := runForced(undA, logA)
+				if err != nil {
+					t.Fatal(err)
+				}
+				logB, undB := sh.feed(250, 300, 0)
+				resB, unregB, err := runForced(undB, logB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sh.cs.RunSIU(append(unregA, unregB...)); err != nil {
+					t.Fatal(err)
+				}
+				logC, undC := sh.feed(0, 650, 11)
+				resC, unregC, err := runForced(undC, logC)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sh.cs.RunSIU(unregC); err != nil {
+					t.Fatal(err)
+				}
+				for pass, pair := range [][2]Dedup2Result{{seqA, resA}, {seqB, resB}, {seqC, resC}} {
+					if decisions(pair[0]) != decisions(pair[1]) {
+						t.Fatalf("pass %d decisions differ:\nseq:     %+v\nsharded: %+v", pass, decisions(pair[0]), decisions(pair[1]))
+					}
+				}
+				// Single region ⇒ identical packing order ⇒ full byte
+				// identity including container IDs and repo contents.
+				if !bytes.Equal(indexImage(t, seq.ix, true), indexImage(t, sh.ix, true)) {
+					t.Fatal("P=1 sharded index differs from sequential including container IDs")
+				}
+				if seq.repo.Containers() != sh.repo.Containers() || seq.repo.Bytes() != sh.repo.Bytes() {
+					t.Fatalf("P=1 repo differs: %d/%d containers, %d/%d bytes",
+						seq.repo.Containers(), sh.repo.Containers(), seq.repo.Bytes(), sh.repo.Bytes())
+				}
+				sh.verifyRestorable(t)
+				return
+			}
+
+			resA, resB, resC := sh.run(t)
+			for pass, pair := range [][2]Dedup2Result{{seqA, resA}, {seqB, resB}, {seqC, resC}} {
+				if decisions(pair[0]) != decisions(pair[1]) {
+					t.Fatalf("pass %d decisions differ:\nseq:     %+v\nsharded: %+v", pass, decisions(pair[0]), decisions(pair[1]))
+				}
+			}
+			if got := indexImage(t, sh.ix, false); !bytes.Equal(seqLayout, got) {
+				t.Fatalf("index layout differs from sequential at P=%d (%d vs %d bytes)", p, len(seqLayout), len(got))
+			}
+			if seq.repo.Bytes() != sh.repo.Bytes() {
+				t.Fatalf("stored bytes differ: seq %d, P=%d %d", seq.repo.Bytes(), p, sh.repo.Bytes())
+			}
+			if sh.repo.Containers() < seq.repo.Containers() {
+				t.Fatalf("sharded packing sealed fewer containers (%d) than sequential (%d)", sh.repo.Containers(), seq.repo.Containers())
+			}
+			sh.verifyRestorable(t)
+		})
+	}
+}
+
+// TestShardedDedup2Deterministic asserts the sharded path is deterministic
+// for a fixed worker count: two independent runs of the same workload end
+// with byte-identical index state including container IDs (the region-order
+// commit pipeline fixes the ID assignment regardless of goroutine timing).
+func TestShardedDedup2Deterministic(t *testing.T) {
+	image := func() []byte {
+		fx := newDedup2Fixture(t, 4)
+		fx.run(t)
+		return indexImage(t, fx.ix, true)
+	}
+	a, b := image(), image()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two sharded runs of the same workload produced different index states")
+	}
+}
+
+// TestShardedSILBoundaryOverflow saturates the buckets on both sides of a
+// region boundary so that overflow physically places entries one bucket
+// across the edge (an entry homed in region 0's last bucket stored in
+// region 1's first, and vice versa). Sharded SIL must still find every
+// one — its region scans extend one bucket past each boundary — or the
+// sharded pass would wrongly re-store chunks the sequential pass proves
+// duplicate.
+func TestShardedSILBoundaryOverflow(t *testing.T) {
+	ix, err := diskindex.NewMem(diskindex.Config{BucketBits: 6, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25 fingerprints homed in bucket 15 (region 0 of 4 ends at 16) and 25
+	// homed in bucket 16: both buckets hold 20, so ten entries overflow
+	// into the neighbours 14/16/15/17.
+	var b15, b16 []fp.FP
+	for v := uint64(0); len(b15) < 25 || len(b16) < 25; v++ {
+		f := fp.FromUint64(v)
+		switch f.Prefix(6) {
+		case 15:
+			if len(b15) < 25 {
+				b15 = append(b15, f)
+			}
+		case 16:
+			if len(b16) < 25 {
+				b16 = append(b16, f)
+			}
+		}
+	}
+	all := append(append([]fp.FP{}, b15...), b16...)
+	for _, f := range all {
+		if err := ix.Insert(fp.Entry{FP: f, CID: 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The scenario must actually occur: at least one entry stored across
+	// the region-0/region-1 edge, away from its home bucket.
+	crossed := 0
+	if err := ix.ForEach(func(bucket uint64, e fp.Entry) bool {
+		home := ix.BucketOf(e.FP)
+		if home != bucket && (home < 16) != (bucket < 16) {
+			crossed++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if crossed == 0 {
+		t.Fatal("fixture did not overflow across the region boundary")
+	}
+
+	regions := ix.Regions(4)
+	part := indexcache.NewPartitioned(6, 4, func(f fp.FP) int {
+		return diskindex.RegionOf(regions, ix.BucketOf(f))
+	})
+	for _, f := range all {
+		if _, err := part.Insert(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var dups int64
+	for i, r := range regions {
+		d, err := SILRegion(ix, r, part.Shard(i), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dups += d
+	}
+	if dups != int64(len(all)) {
+		t.Fatalf("sharded SIL found %d of %d duplicates (boundary-overflowed entries missed)", dups, len(all))
+	}
+	if part.Len() != 0 {
+		t.Fatalf("%d fingerprints wrongly survived as new", part.Len())
+	}
+}
+
+// brokenRepo fails every Append while delegating reads, simulating a
+// container-log I/O error mid pass.
+type brokenRepo struct {
+	*container.MemRepository
+}
+
+func (b brokenRepo) Append(*container.Container) (fp.ContainerID, error) {
+	return 0, fmt.Errorf("injected append failure")
+}
+
+// TestShardedDedup2CommitFailureRetries: when a region's container commit
+// fails, the pass reports the error without handing out unregistered
+// entries, and a retry of the same undetermined set over the same log
+// (the server re-queues the pending fingerprints on error) stores
+// everything — nothing was silently lost or double-counted.
+func TestShardedDedup2CommitFailureRetries(t *testing.T) {
+	fx := newDedup2Fixture(t, 4)
+	log, und := fx.feed(0, 300, 0)
+
+	good := fx.cs.Repo
+	fx.cs.Repo = brokenRepo{fx.repo}
+	_, unreg, err := fx.cs.RunSILAndStore(und, log, 6)
+	if err == nil {
+		t.Fatal("commit failure not reported")
+	}
+	if len(unreg) != 0 {
+		t.Fatalf("failed pass handed out %d unregistered entries", len(unreg))
+	}
+	if fx.repo.Containers() != 0 {
+		t.Fatalf("failed pass committed %d containers", fx.repo.Containers())
+	}
+
+	fx.cs.Repo = good
+	res, unreg, err := fx.cs.RunSILAndStore(und, log, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Store.NewChunks != 300 || int64(len(unreg)) != 300 {
+		t.Fatalf("retry stored %d chunks, %d unreg, want 300/300", res.Store.NewChunks, len(unreg))
+	}
+	if _, err := fx.cs.RunSIU(unreg); err != nil {
+		t.Fatal(err)
+	}
+	fx.verifyRestorable(t)
+}
+
+// TestSIUPreSortedRuns covers SIU's sorted-input fast path: a concatenation
+// of per-region sorted runs must merge without re-sorting, the caller's
+// slice must not be mutated, and an unsorted input must still work.
+func TestSIUPreSortedRuns(t *testing.T) {
+	ix, err := diskindex.NewMem(diskindex.Config{BucketBits: 8, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]fp.Entry, 500)
+	for i := range entries {
+		entries[i] = fp.Entry{FP: fp.FromUint64(uint64(i)), CID: fp.ContainerID(i)}
+	}
+	sortEntriesByBucket(ix, entries)
+	snapshot := append([]fp.Entry(nil), entries...)
+	if err := SIU(ix, entries, 16); err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if entries[i] != snapshot[i] {
+			t.Fatalf("SIU mutated caller slice at %d", i)
+		}
+	}
+	// Unsorted input on a fresh index reaches the same state.
+	ix2, err := diskindex.NewMem(diskindex.Config{BucketBits: 8, BucketBlocks: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]fp.Entry, len(entries))
+	for i := range entries {
+		reversed[i] = entries[len(entries)-1-i]
+	}
+	if err := SIU(ix2, reversed, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(indexImage(t, ix, true), indexImage(t, ix2, true)) {
+		t.Fatal("sorted and unsorted SIU inputs produced different index states")
+	}
+}

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document on stdout, so CI can record the repo's
+// performance trajectory (BENCH_ci.json artifacts) without extra
+// dependencies. Standard units get first-class fields (ns/op, MB/s, B/op,
+// allocs/op); every reported metric, custom ones included (dedup2-ms,
+// compression:1, ...), also lands in the metrics map verbatim.
+//
+// Usage:
+//
+//	go test -run - -bench . -benchtime 1x -benchmem ./... | go run ./tools/benchjson > BENCH_ci.json
+//
+// The tool exits non-zero when no benchmark lines were parsed, so a CI
+// bench step cannot silently produce an empty trajectory point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	MBPerS      float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the document emitted to stdout.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Generated  string      `json:"generated"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Commit     string      `json:"commit,omitempty"`
+	Ref        string      `json:"ref,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{
+		Schema:    "debar-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Commit:    os.Getenv("GITHUB_SHA"),
+		Ref:       os.Getenv("GITHUB_REF"),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		if b, ok := parseLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines found on stdin")
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       fields[0],
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	// Strip the trailing "-<GOMAXPROCS>" segment go test appends; only a
+	// pure-digit suffix is removed, so sub-benchmark names survive intact.
+	if i := strings.LastIndexByte(b.Name, '-'); i > 0 {
+		if _, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name = b.Name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		b.Metrics[unit] = v
+		switch unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "MB/s":
+			b.MBPerS = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}

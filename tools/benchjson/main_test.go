@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkEndToEndBackup/mem/clients=4-4         \t       1\t248093289 ns/op\t 270.52 MB/s\t  922645 B/op\t    9311 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if b.Name != "BenchmarkEndToEndBackup/mem/clients=4" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Iterations != 1 || b.NsPerOp != 248093289 || b.MBPerS != 270.52 || b.BytesPerOp != 922645 || b.AllocsPerOp != 9311 {
+		t.Fatalf("parsed %+v", b)
+	}
+	if b.Metrics["MB/s"] != 270.52 {
+		t.Fatalf("metrics = %v", b.Metrics)
+	}
+
+	// Custom units land in the metrics map.
+	b, ok = parseLine("BenchmarkDedup2SecondGen/mem/silworkers=4-4 \t 3\t191816610 ns/op\t 174.93 MB/s\t 191.8 dedup2-ms")
+	if !ok || b.Metrics["dedup2-ms"] != 191.8 {
+		t.Fatalf("custom metric: ok=%v %+v", ok, b)
+	}
+
+	// Garbage is rejected.
+	for _, bad := range []string{
+		"BenchmarkX",
+		"BenchmarkX 12",
+		"BenchmarkX twelve 5 ns/op",
+		"ok  \tdebar\t9.098s",
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
