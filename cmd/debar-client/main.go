@@ -23,6 +23,10 @@ func main() {
 	window := flag.Int("window", 0, "fingerprint batches in flight (0 = default)")
 	workers := flag.Int("workers", 0, "fingerprint worker goroutines (0 = default)")
 	batch := flag.Int("batch", 0, "fingerprints per batch (0 = default 256)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "connection dial deadline (0 = 10s, negative = none)")
+	ioTimeout := flag.Duration("io-timeout", 0, "per-read/write deadline on the server connection (0 = 2m, negative = none)")
+	retries := flag.Int("retries", 0, "extra attempts after a transient network failure, resuming prior progress (0 = 3, negative = no retries)")
+	backoff := flag.Duration("retry-backoff", 0, "base delay between retries, doubled with jitter each attempt (0 = 100ms)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) != 3 {
@@ -35,6 +39,10 @@ func main() {
 	if *batch > 0 {
 		c.BatchSize = *batch
 	}
+	c.DialTimeout = *dialTimeout
+	c.IOTimeout = *ioTimeout
+	c.Retries = *retries
+	c.RetryBackoff = *backoff
 	switch args[0] {
 	case "backup":
 		stats, err := c.Backup(args[1], args[2])

@@ -23,6 +23,10 @@ import (
 func main() {
 	listen := flag.String("listen", ":7700", "address to listen on")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory metadata)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "close metadata connections silent this long (0 = 5m, negative = never)")
+	controlTimeout := flag.Duration("control-timeout", 0, "dial and per-I/O deadline for outbound dedup-2 triggers (0 = 10s, negative = none)")
+	dedup2Timeout := flag.Duration("dedup2-timeout", 0, "how long to wait for a server's dedup-2 pass to finish (0 = 15m, negative = forever)")
+	retries := flag.Int("retries", 0, "extra attempts for transient dedup-2 trigger failures (0 = 2, negative = no retries)")
 	flag.Parse()
 
 	var d *director.Director
@@ -43,6 +47,10 @@ func main() {
 		d = director.New()
 	}
 	d.SetLogger(log.Printf)
+	d.IdleTimeout = *idleTimeout
+	d.ControlTimeout = *controlTimeout
+	d.Dedup2Timeout = *dedup2Timeout
+	d.Retries = *retries
 	addr, err := d.Serve(*listen)
 	if err != nil {
 		log.Fatalf("debar-director: %v", err)

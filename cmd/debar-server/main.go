@@ -25,6 +25,10 @@ func main() {
 	indexBits := flag.Uint("index-bits", 0, "disk index bucket bits, 2^n buckets (0 = default: 18 in-memory; a data dir keeps its manifest geometry)")
 	dataDir := flag.String("data-dir", "", "durable data directory (empty = in-memory stores)")
 	silWorkers := flag.Int("sil-workers", 0, "dedup-2 SIL workers: index regions scanned in parallel (0 = derive from GOMAXPROCS, 1 = serialized)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections (and their backup sessions) silent this long (0 = 5m, negative = never)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline on client connections (0 = 2m, negative = none)")
+	controlTimeout := flag.Duration("control-timeout", 0, "dial and per-I/O deadline for director control calls (0 = 10s, negative = none)")
+	controlRetries := flag.Int("control-retries", 0, "extra attempts for transient director control-call failures (0 = 2, negative = no retries)")
 	flag.Parse()
 	if *indexBits == 0 && *dataDir == "" {
 		// Memory-backed default stays 2^18 buckets; for a data dir an
@@ -34,10 +38,14 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		DirectorAddr: *dir,
-		IndexBits:    *indexBits,
-		DataDir:      *dataDir,
-		SILWorkers:   *silWorkers,
+		DirectorAddr:   *dir,
+		IndexBits:      *indexBits,
+		DataDir:        *dataDir,
+		SILWorkers:     *silWorkers,
+		IdleTimeout:    *idleTimeout,
+		WriteTimeout:   *writeTimeout,
+		ControlTimeout: *controlTimeout,
+		ControlRetries: *controlRetries,
 	})
 	if err != nil {
 		log.Fatalf("debar-server: %v", err)

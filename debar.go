@@ -13,6 +13,48 @@
 //     over loopback TCP) for embedding and experimentation;
 //   - re-exported client for talking to any DEBAR deployment;
 //   - the experiments API regenerating the paper's tables and figures.
+//
+// # Fault tolerance
+//
+// Every network operation is bounded and every client operation retries
+// transient failures with resume, so one flaky link or full disk cannot
+// wedge a backup window. The failure-mode matrix:
+//
+//	Failure                      Detection                Behaviour
+//	-------                      ---------                ---------
+//	Cut link mid-backup          read/write error         Client retries with backoff; the server reclaims the
+//	                                                      dead session's logged fingerprints into the pending
+//	                                                      set and primes the retry's filter with them, so only
+//	                                                      chunks that never arrived are re-transferred.
+//	Cut link mid-restore         read/write error         Client retries and resumes the interrupted file
+//	                                                      mid-stream (RestoreFile.StartChunk); the partial temp
+//	                                                      file is kept across attempts and verified chunk by
+//	                                                      chunk, or discarded if the server state changed.
+//	Half-open link (SIGKILL,     per-I/O deadline          Client: IOTimeout fails the stalled call, then normal
+//	NAT timeout — no FIN)        (progress-based)          retry. Server: IdleTimeout reaps the silent connection
+//	                                                      and reclaims its sessions (same path as a cut).
+//	Server down at dial          DialTimeout              Retries with exponential backoff + jitter until the
+//	                                                      retry budget (Retries) is spent.
+//	Disk full / media error      failed durable write     Store latches read-only: new writes and dedup-2 get a
+//	on the server                                         typed in-band refusal (proto.IsReadOnly); restores and
+//	                                                      verifies keep serving. Cleared by fixing the medium
+//	                                                      and restarting (normal crash recovery applies).
+//	Crash between dedup-2        chunk-log WAL replay     Chunks not yet checkpointed re-enter the pending set
+//	stages                       on reopen                on recovery; the next pass converges (re-stored
+//	                                                      duplicates waste space but never corrupt restores).
+//	Backup aborted before        run never marked          The director serves only completed runs (EndRun) as
+//	completion                   complete                  restore sources or filtering fingerprints, so a
+//	                                                      half-landed file index is never trusted.
+//	Director unreachable         control-call timeout     Server and director control calls retry transiently;
+//	                                                      persistent failure fails the operation loudly.
+//
+// The knobs follow one convention everywhere: zero selects the
+// documented default, negative disables. Client: DialTimeout, IOTimeout,
+// Retries, RetryBackoff. Server (ServerConfig): IdleTimeout,
+// WriteTimeout, ControlTimeout, ControlRetries. Director: IdleTimeout,
+// ControlTimeout, Dedup2Timeout, Retries. The internal/faultproxy chaos
+// proxy and the chaos suite (chaos_test.go) exercise the whole matrix
+// under -race in CI.
 package debar
 
 import (

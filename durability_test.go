@@ -11,6 +11,7 @@ import (
 	"debar/internal/client"
 	"debar/internal/director"
 	"debar/internal/metastore"
+	"debar/internal/proto"
 	"debar/internal/server"
 	"debar/internal/store"
 )
@@ -19,6 +20,13 @@ import (
 // durable backup server (store engine) over the given data directories.
 // eng may be nil; when non-nil the server is wired onto it directly.
 func bootDurable(t *testing.T, dirData, srvData string, eng *store.Engine) (*director.Director, *metastore.Store, *server.Server, string) {
+	t.Helper()
+	return bootDurableWith(t, dirData, srvData, eng, nil)
+}
+
+// bootDurableWith is bootDurable with a server-config hook, for tests
+// that need fault-injection knobs (stage hooks, short timeouts).
+func bootDurableWith(t *testing.T, dirData, srvData string, eng *store.Engine, mod func(*server.Config)) (*director.Director, *metastore.Store, *server.Server, string) {
 	t.Helper()
 	ms, err := metastore.Open(filepath.Join(dirData, "meta.journal"), 0)
 	if err != nil {
@@ -37,6 +45,9 @@ func bootDurable(t *testing.T, dirData, srvData string, eng *store.Engine) (*dir
 		cfg.Storage = eng
 	} else {
 		cfg.DataDir = srvData
+	}
+	if mod != nil {
+		mod(&cfg)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -285,6 +296,91 @@ func TestDurabilityStreamingRestoreAfterKill(t *testing.T) {
 	// case.
 	checkRestoreWith(t, saddr, jobStored, src1, 32, 2)
 	checkRestoreWith(t, saddr, jobPending, src2, 32, 2)
+}
+
+// TestDurabilityCrashBetweenSILAndSIU kills the deployment in the middle
+// of a dedup-2 pass: the sharded SIL stage has committed its containers
+// but the SIU index writes, the engine checkpoint and the WAL truncation
+// never happen. The on-disk state is snapshotted byte-for-byte from
+// inside the "sil-stored" stage hook — exactly what a SIGKILL at that
+// instant leaves. A fresh deployment booting from the snapshot must
+// re-queue the WAL-recovered fingerprints, converge on a retried pass
+// (storing nothing it already has twice over a further pass), and restore
+// byte-identical content.
+func TestDurabilityCrashBetweenSILAndSIU(t *testing.T) {
+	dirData, srvData := t.TempDir(), t.TempDir()
+	src := t.TempDir()
+	rng := newDetRand(61)
+	buf := make([]byte, 1500*1024)
+	for i := 0; i < len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], rng.next())
+	}
+	if err := os.WriteFile(filepath.Join(src, "midpass.bin"), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	const job = "midpass-job"
+	killDir, killSrv := t.TempDir(), t.TempDir()
+	snapped := false
+	d, ms, srv, saddr := bootDurableWith(t, dirData, srvData, nil, func(cfg *server.Config) {
+		cfg.Dedup2StageHook = func(stage string) {
+			if stage != "sil-stored" || snapped {
+				return
+			}
+			// The "kill": capture the live on-disk state mid-pass, before
+			// SIU, checkpoint or WAL truncation run.
+			snapped = true
+			copyTree(t, dirData, killDir)
+			copyTree(t, srvData, killSrv)
+		}
+	})
+	c := client.New(saddr, "e2e-midpass")
+	if _, err := c.Backup(job, src); err != nil {
+		t.Fatalf("backup: %v", err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatalf("dedup-2: %v", err)
+	}
+	if !snapped {
+		t.Fatal("sil-stored stage hook never fired")
+	}
+	shutdownDurable(t, d, ms, srv)
+
+	// Boot from the mid-pass snapshot. The chunk-log WAL still holds every
+	// chunk (truncation never ran), so recovery re-queues the fingerprints
+	// and the retried pass finishes the interrupted work.
+	d, ms, srv, saddr = bootDurableWith(t, killDir, killSrv, nil, nil)
+	defer shutdownDurable(t, d, ms, srv)
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatalf("retried dedup-2 after mid-pass kill: %v", err)
+	}
+	checkRestoreWith(t, saddr, job, src, 32, 2)
+
+	// Convergence: with the retried pass complete, yet another pass must
+	// find nothing new — the re-queued work was finished, not duplicated
+	// into an ever-growing pending set.
+	conn, err := proto.Dial(saddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.Dedup2Request{RunSIU: true}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, ok := msg.(proto.Dedup2Done)
+	if !ok {
+		t.Fatalf("Dedup2Request reply = %T %+v", msg, msg)
+	}
+	if done.Err != "" {
+		t.Fatalf("convergence pass failed: %s", done.Err)
+	}
+	if done.NewChunks != 0 {
+		t.Fatalf("convergence pass stored %d new chunks, want 0", done.NewChunks)
+	}
 }
 
 // TestStartLocalDurableRestart covers the StartLocal contract: with

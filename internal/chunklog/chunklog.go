@@ -47,6 +47,18 @@ type Log struct {
 	end       int64 // append offset (WAL mode)
 	dirty     int   // bytes appended since the last fsync
 	syncBytes int   // fsync batching threshold (<0 disables fsync)
+
+	failFn func() error // fault injection: non-nil error fails the append
+}
+
+// SetFailFunc installs a fault-injection hook consulted before every
+// append: a non-nil return fails the append with that error, simulating
+// ENOSPC or media failure without touching the filesystem. nil clears
+// the hook. Test-only; reads are unaffected.
+func (l *Log) SetFailFunc(fn func() error) {
+	l.mu.Lock()
+	l.failFn = fn
+	l.mu.Unlock()
 }
 
 // NewMem returns a memory-backed log. metaOnly drops payloads while
@@ -87,6 +99,11 @@ func (l *Log) append(f fp.FP, size uint32, data []byte, owned bool) error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.failFn != nil {
+		if err := l.failFn(); err != nil {
+			return fmt.Errorf("chunklog: append: %w", err)
+		}
+	}
 	if l.crc {
 		if err := l.appendWAL(f, size, data); err != nil {
 			return err

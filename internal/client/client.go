@@ -44,17 +44,35 @@
 //   - RestoreWindow: restore batches the server may keep in flight
 //     before waiting for the client's acknowledgements (default 4, like
 //     Window).
+//
+// # Fault tolerance
+//
+// Every connection is bounded (DialTimeout for establishment, IOTimeout
+// as a per-I/O deadline — a stalled peer fails fast, a slow transfer
+// making progress does not) and every operation retries transient
+// network failures with exponential backoff and jitter under a retry
+// budget (Retries, RetryBackoff). The retries are efficient resumes, not
+// blind re-runs: a retried backup re-offers fingerprints (idempotent on
+// the server, which primes a new session with its pending set) and only
+// re-ships chunks that never landed; a retried restore resumes mid-file
+// from the last verified chunk via the protocol's resume offset. Errors
+// the server reported in-band (a refused request, e.g. a store gone
+// read-only after ENOSPC) are permanent and never retried — see
+// proto.RemoteError and proto.IsReadOnly.
 package client
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
 	"path/filepath"
 	"runtime"
 	"sort"
+	"time"
 
 	"debar/internal/chunker"
 	"debar/internal/proto"
+	"debar/internal/retry"
 )
 
 // defaultWindow is the default number of FPBatches kept in flight.
@@ -69,6 +87,12 @@ func defaultWorkers() int {
 	return n
 }
 
+// defaultIOTimeout is the per-I/O read/write deadline when IOTimeout is 0.
+const defaultIOTimeout = 2 * time.Minute
+
+// defaultRetries is the transient-failure retry budget when Retries is 0.
+const defaultRetries = 3
+
 // Client is a backup client bound to one backup server.
 type Client struct {
 	ServerAddr string
@@ -80,6 +104,47 @@ type Client struct {
 
 	RestoreBatchSize int // chunks per restore batch (default 256)
 	RestoreWindow    int // restore batches in flight before the server awaits acks (default 4)
+
+	// DialTimeout bounds connection establishment (0 selects
+	// proto.DefaultDialTimeout, 10s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each individual transport read/write once
+	// connected: a peer that stops moving data for this long fails the
+	// operation (and triggers a retry). 0 selects 2 minutes; negative
+	// disables the deadlines.
+	IOTimeout time.Duration
+	// Retries is the transient-failure retry budget per operation:
+	// how many times a backup, restore or verify re-attempts after a
+	// connection-level failure. 0 selects 3; negative disables retries.
+	Retries int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// consecutive failure (jittered, capped at 5s). 0 selects 100ms.
+	RetryBackoff time.Duration
+}
+
+// dial opens a bounded connection to the backup server.
+func (c *Client) dial() (*proto.Conn, error) {
+	conn, err := proto.DialTimeout(c.ServerAddr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	to := c.IOTimeout
+	if to == 0 {
+		to = defaultIOTimeout
+	}
+	conn.SetTimeouts(to, to)
+	return conn, nil
+}
+
+// retryPolicy resolves the client's retry knobs.
+func (c *Client) retryPolicy() retry.Policy {
+	r := c.Retries
+	if r == 0 {
+		r = defaultRetries
+	} else if r < 0 {
+		r = 0
+	}
+	return retry.Policy{Attempts: r + 1, Base: c.RetryBackoff}
 }
 
 // New returns a client for the given backup server.
@@ -96,10 +161,28 @@ type BackupStats struct {
 }
 
 // Backup walks dir and backs up every regular file under it as job
-// jobName.
+// jobName, retrying transient connection failures with backoff. A retry
+// opens a fresh session (and run) and re-offers every fingerprint; the
+// server's preliminary filter — primed with the interrupted session's
+// pending fingerprints — answers "don't transfer" for chunks that
+// already landed, so only the missing tail of the data moves again.
 func (c *Client) Backup(jobName, dir string) (BackupStats, error) {
+	pol := c.retryPolicy()
 	var stats BackupStats
-	conn, err := proto.Dial(c.ServerAddr)
+	var err error
+	for attempt := 0; ; attempt++ {
+		stats, err = c.backupOnce(jobName, dir)
+		if err == nil || !retry.Transient(err) || attempt >= pol.Attempts-1 {
+			return stats, err
+		}
+		time.Sleep(pol.Backoff(attempt))
+	}
+}
+
+// backupOnce is one backup attempt over one connection.
+func (c *Client) backupOnce(jobName, dir string) (BackupStats, error) {
+	var stats BackupStats
+	conn, err := c.dial()
 	if err != nil {
 		return stats, err
 	}
@@ -160,7 +243,7 @@ func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
 	case proto.BackupStartOK:
 		return m.SessionID, nil
 	case proto.Ack:
-		return 0, fmt.Errorf("client: BackupStart refused: %s", m.Err)
+		return 0, fmt.Errorf("client: BackupStart refused: %w", proto.AckError(m))
 	default:
 		return 0, fmt.Errorf("client: unexpected BackupStart reply %T", msg)
 	}
@@ -175,34 +258,71 @@ func (c *Client) batch() int {
 
 // Restore retrieves every file of jobName's latest run into destDir,
 // streaming each file's chunk batches straight to disk (see restore.go).
+// Transient connection failures are retried with backoff; a retry redials,
+// skips the files already completed, and resumes the interrupted file
+// mid-stream from its last verified chunk (the partial temp file and its
+// verified prefix survive across attempts).
 func (c *Client) Restore(jobName, destDir string) (int, error) {
-	conn, err := proto.Dial(c.ServerAddr)
+	pol := c.retryPolicy()
+	var (
+		restored int
+		done     = make(map[string]bool) // paths fully restored so far
+		res      fileResume              // partial-file state carried across attempts
+	)
+	defer res.abandon()
+	for attempt := 0; ; attempt++ {
+		err := c.restoreAttempt(jobName, destDir, done, &restored, &res)
+		if err == nil {
+			return restored, nil
+		}
+		if errors.Is(err, errResumeInvalid) {
+			// The file changed between attempts or the server declined the
+			// resume offset: drop the partial state and restore that file
+			// from scratch. Still consumes the retry budget.
+			res.abandon()
+		} else if !retry.Transient(err) {
+			return restored, err
+		}
+		if attempt >= pol.Attempts-1 {
+			return restored, err
+		}
+		time.Sleep(pol.Backoff(attempt))
+	}
+}
+
+// restoreAttempt is one restore attempt over one connection, skipping
+// files recorded in done and resuming res if it holds partial state.
+func (c *Client) restoreAttempt(jobName, destDir string, done map[string]bool, restored *int, res *fileResume) error {
+	conn, err := c.dial()
 	if err != nil {
-		return 0, err
+		return err
 	}
 	defer conn.Close()
 
 	if err := conn.Send(proto.ListFiles{JobName: jobName}); err != nil {
-		return 0, err
+		return err
 	}
 	msg, err := conn.Recv()
 	if err != nil {
-		return 0, err
+		return err
 	}
 	list, ok := msg.(proto.FileList)
 	if !ok {
 		if ack, is := msg.(proto.Ack); is {
-			return 0, fmt.Errorf("client: list: %s", ack.Err)
+			return fmt.Errorf("client: list: %w", proto.AckError(ack))
 		}
-		return 0, fmt.Errorf("client: unexpected ListFiles reply %T", msg)
+		return fmt.Errorf("client: unexpected ListFiles reply %T", msg)
 	}
 
-	restored := 0
 	for _, path := range list.Paths {
-		if err := c.restoreOne(conn, jobName, path, destDir); err != nil {
-			return restored, err
+		if done[path] {
+			continue
 		}
-		restored++
+		if err := c.restoreOne(conn, jobName, path, destDir, res); err != nil {
+			return err
+		}
+		done[path] = true
+		*restored++
 	}
-	return restored, nil
+	return nil
 }

@@ -288,8 +288,12 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 
 	ackHandler := func(what string) func(any) error {
 		return func(msg any) error {
-			if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+			ack, ok := msg.(proto.Ack)
+			if !ok {
 				return fmt.Errorf("client: %s refused: %+v", what, msg)
+			}
+			if !ack.OK {
+				return fmt.Errorf("client: %s refused: %w", what, proto.AckError(ack))
 			}
 			release()
 			return nil
@@ -344,8 +348,12 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 				creq := request{
 					msg: proto.ChunkBatch{SessionID: sess, FPs: needFPs, Data: needData},
 					onReply: func(msg any) error {
-						if ack, ok := msg.(proto.Ack); !ok || !ack.OK {
+						ack, ok := msg.(proto.Ack)
+						if !ok {
 							return fmt.Errorf("client: chunk transfer refused: %+v", msg)
+						}
+						if !ack.OK {
+							return fmt.Errorf("client: chunk transfer refused: %w", proto.AckError(ack))
 						}
 						for _, bp := range needBufs {
 							putChunkBuf(bp)

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
@@ -8,7 +9,62 @@ import (
 
 	"debar/internal/fp"
 	"debar/internal/proto"
+	"debar/internal/retry"
 )
+
+// errResumeInvalid reports that a mid-file resume could not be honoured:
+// the server's file entry no longer matches the partial state, or the
+// server declined the resume offset. The caller drops the partial file
+// and retries from chunk zero.
+var errResumeInvalid = errors.New("client: restore resume state invalid")
+
+// fileResume is the partial state of an interrupted file restore, kept
+// alive across connection attempts so a retry can resume mid-file: the
+// open temp file holds idx verified chunks (written bytes) of entry.
+type fileResume struct {
+	path    string // job-relative path the state belongs to
+	tmp     string // temp file name
+	f       *os.File
+	entry   proto.FileEntry
+	idx     int   // chunks verified and appended so far
+	written int64 // bytes appended so far
+}
+
+// active reports whether r holds resumable state for path. State with no
+// verified chunks is not worth resuming (StartChunk 0 is a fresh start
+// anyway), so it is treated as inactive and discarded by the caller —
+// otherwise the fresh-start path would overwrite the state and leak its
+// temp file.
+func (r *fileResume) active(path string) bool {
+	return r.f != nil && r.path == path && r.idx > 0
+}
+
+// abandon discards any partial state, removing the temp file. Idempotent.
+func (r *fileResume) abandon() {
+	if r.f != nil {
+		r.f.Close()
+		os.Remove(r.tmp)
+	}
+	*r = fileResume{}
+}
+
+// clear forgets the state without removing the temp file (which a
+// successful restore has just renamed into place).
+func (r *fileResume) clear() { *r = fileResume{} }
+
+// entryEqual reports whether two file entries describe the same file
+// content — the condition for a mid-file resume to be sound.
+func entryEqual(a, b proto.FileEntry) bool {
+	if a.Path != b.Path || a.Size != b.Size || len(a.Chunks) != len(b.Chunks) {
+		return false
+	}
+	for i := range a.Chunks {
+		if a.Chunks[i] != b.Chunks[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // restoreBatch returns the chunks-per-batch the client requests from the
 // restore stream.
@@ -51,12 +107,34 @@ func safeJoin(destDir, entryPath string) (string, error) {
 // failure never leaves a partial file behind — and never disturbs a
 // pre-existing file at the destination. The caller abandons the
 // connection on error, so no protocol resynchronisation is needed.
-func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string) (err error) {
+//
+// Partial progress lives in res: if the connection dies mid-stream, the
+// temp file and its verified-chunk count stay open in res, and the next
+// call for the same path asks the server to resume at that chunk (the
+// resume offset is echoed in RestoreBegin and the entry is compared
+// fingerprint-for-fingerprint — a mismatch yields errResumeInvalid).
+// Permanent failures discard the partial state.
+func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string, res *fileResume) (err error) {
+	defer func() {
+		// Keep partial state only for failures a retry can resume through:
+		// connection-level errors. Verification and protocol failures (and
+		// a declined resume) abandon the temp file.
+		if err != nil && !retry.Transient(err) {
+			res.abandon()
+		}
+	}()
+
+	if !res.active(path) {
+		res.abandon() // stale state for some other file, if any
+	}
+	start := res.idx
+
 	if err := conn.Send(proto.RestoreFile{
 		JobName:     jobName,
 		Path:        path,
 		BatchChunks: c.restoreBatch(),
 		Window:      c.restoreWindow(),
+		StartChunk:  uint64(start),
 	}); err != nil {
 		return err
 	}
@@ -67,42 +145,46 @@ func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string) (er
 	begin, ok := msg.(proto.RestoreBegin)
 	if !ok {
 		if ack, is := msg.(proto.Ack); is {
-			return fmt.Errorf("client: restore %s: %s", path, ack.Err)
+			if start > 0 {
+				// The server refused the request outright — the run may
+				// have changed under us. Treat as an invalid resume so the
+				// retry starts the file over rather than failing the job.
+				return fmt.Errorf("client: restore %s: %w: %s", path, errResumeInvalid, ack.Err)
+			}
+			return fmt.Errorf("client: restore %s: %w", path, proto.AckError(ack))
 		}
 		return fmt.Errorf("client: unexpected RestoreFile reply %T", msg)
 	}
 	entry := begin.Entry
 
-	dst, err := safeJoin(destDir, entry.Path)
-	if err != nil {
-		return err
-	}
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return err
-	}
-	mode := fs.FileMode(entry.Mode).Perm()
-	if mode == 0 {
-		mode = 0o644
-	}
-	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".restore-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	defer func() {
-		if f != nil {
-			f.Close()
+	if start > 0 {
+		if begin.StartChunk != uint64(start) || !entryEqual(entry, res.entry) {
+			return fmt.Errorf("client: restore %s: %w", path, errResumeInvalid)
 		}
+	} else {
+		dst, err := safeJoin(destDir, entry.Path)
 		if err != nil {
-			os.Remove(tmp) // never leave a partial or unverified file behind
+			return err
 		}
-	}()
-	if err := f.Chmod(mode); err != nil {
-		return err
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		mode := fs.FileMode(entry.Mode).Perm()
+		if mode == 0 {
+			mode = 0o644
+		}
+		f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".restore-*")
+		if err != nil {
+			return err
+		}
+		if err := f.Chmod(mode); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+		*res = fileResume{path: path, tmp: f.Name(), f: f, entry: entry}
 	}
 
-	idx := 0
-	var written int64
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -111,17 +193,17 @@ func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string) (er
 		switch m := msg.(type) {
 		case proto.RestoreChunkBatch:
 			for _, chunk := range m.Data {
-				if idx >= len(entry.Chunks) {
+				if res.idx >= len(entry.Chunks) {
 					return fmt.Errorf("client: restore %s: server sent more chunks than the file index holds", path)
 				}
-				if fp.New(chunk) != entry.Chunks[idx] {
-					return fmt.Errorf("client: restore %s: chunk %d fingerprint mismatch (corruption in transit or store)", path, idx)
+				if fp.New(chunk) != entry.Chunks[res.idx] {
+					return fmt.Errorf("client: restore %s: chunk %d fingerprint mismatch (corruption in transit or store)", path, res.idx)
 				}
-				if _, err := f.Write(chunk); err != nil {
+				if _, err := res.f.Write(chunk); err != nil {
 					return err
 				}
-				written += int64(len(chunk))
-				idx++
+				res.written += int64(len(chunk))
+				res.idx++
 			}
 			if err := conn.Send(proto.RestoreAck{Seq: m.Seq}); err != nil {
 				return err
@@ -130,16 +212,25 @@ func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string) (er
 			if m.Err != "" {
 				return fmt.Errorf("client: restore %s: %s", path, m.Err)
 			}
-			if idx != len(entry.Chunks) || written != entry.Size {
+			if res.idx != len(entry.Chunks) || res.written != entry.Size {
 				return fmt.Errorf("client: restore %s: stream ended after %d/%d chunks, %d/%d bytes",
-					path, idx, len(entry.Chunks), written, entry.Size)
+					path, res.idx, len(entry.Chunks), res.written, entry.Size)
 			}
-			cf := f
-			f = nil
-			if err := cf.Close(); err != nil {
+			dst, err := safeJoin(destDir, entry.Path)
+			if err != nil {
 				return err
 			}
-			return os.Rename(tmp, dst)
+			f, tmp := res.f, res.tmp
+			res.clear()
+			if err := f.Close(); err != nil {
+				os.Remove(tmp)
+				return err
+			}
+			if err := os.Rename(tmp, dst); err != nil {
+				os.Remove(tmp)
+				return err
+			}
+			return nil
 		default:
 			return fmt.Errorf("client: unexpected %T during restore stream", msg)
 		}

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"debar/internal/chunker"
 	"debar/internal/fp"
 	"debar/internal/proto"
+	"debar/internal/retry"
 )
 
 // VerifyResult summarises a verify job (§3.1: the director "supervises
@@ -26,9 +28,26 @@ func (v VerifyResult) OK() bool { return len(v.Modified) == 0 && len(v.Missing) 
 // Verify compares the latest run of jobName against the local directory
 // tree without transferring any chunk data: files are re-anchored and
 // re-fingerprinted locally and compared against the stored file indexes.
+// Transient connection failures retry the whole pass with backoff (the
+// pass moves no data and holds no server state, so a re-run is cheap and
+// safe).
 func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
+	pol := c.retryPolicy()
 	var res VerifyResult
-	conn, err := proto.Dial(c.ServerAddr)
+	var err error
+	for attempt := 0; ; attempt++ {
+		res, err = c.verifyOnce(jobName, dir)
+		if err == nil || !retry.Transient(err) || attempt >= pol.Attempts-1 {
+			return res, err
+		}
+		time.Sleep(pol.Backoff(attempt))
+	}
+}
+
+// verifyOnce is one verify pass over one connection.
+func (c *Client) verifyOnce(jobName, dir string) (VerifyResult, error) {
+	var res VerifyResult
+	conn, err := c.dial()
 	if err != nil {
 		return res, err
 	}
@@ -44,7 +63,7 @@ func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
 	list, ok := msg.(proto.FileList)
 	if !ok {
 		if ack, is := msg.(proto.Ack); is {
-			return res, fmt.Errorf("client: verify: %s", ack.Err)
+			return res, fmt.Errorf("client: verify: %w", proto.AckError(ack))
 		}
 		return res, fmt.Errorf("client: unexpected ListFiles reply %T", msg)
 	}
@@ -62,7 +81,7 @@ func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
 		meta, ok := msg.(proto.RestoreBegin)
 		if !ok {
 			if ack, is := msg.(proto.Ack); is {
-				return res, fmt.Errorf("client: verify %s: %s", path, ack.Err)
+				return res, fmt.Errorf("client: verify %s: %w", path, proto.AckError(ack))
 			}
 			return res, fmt.Errorf("client: unexpected RestoreMeta reply %T", msg)
 		}

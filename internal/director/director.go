@@ -20,7 +20,30 @@ import (
 	"debar/internal/fp"
 	"debar/internal/metastore"
 	"debar/internal/proto"
+	"debar/internal/retry"
 )
+
+// Control-plane timeout defaults. Dedup-2 is the outlier: the server
+// sends nothing while it drains chunk logs and rewrites indexes, so the
+// reply wait gets its own much longer bound.
+const (
+	defaultControlTimeout = 10 * time.Second
+	defaultDedup2Timeout  = 15 * time.Minute
+	defaultIdleTimeout    = 5 * time.Minute
+	defaultRetries        = 2
+)
+
+// resolveTimeout maps the knob convention (0 = default, negative =
+// disabled) onto a concrete duration.
+func resolveTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
 
 // Job is a backup job object (§3.1): "a client attribute that specifies a
 // backup client for the job, a dataset attribute that specifies the list
@@ -32,13 +55,18 @@ type Job struct {
 	Schedule string // e.g. "daily at 1.05am" (informational; Scheduler drives)
 }
 
-// Run is one execution of a job.
+// Run is one execution of a job. Complete is set when the backup server
+// reports the run's BackupEnd: every chunk the server asked for arrived.
+// Incomplete runs (client vanished mid-backup) are never served as a
+// restore source or as filtering fingerprints — their file indexes can
+// reference chunks that never reached the server.
 type Run struct {
-	ID      uint64
-	Job     string
-	Client  string
-	Started time.Time
-	Files   []proto.FileEntry
+	ID       uint64
+	Job      string
+	Client   string
+	Started  time.Time
+	Complete bool
+	Files    []proto.FileEntry
 }
 
 // serverInfo tracks a registered backup server.
@@ -49,8 +77,25 @@ type serverInfo struct {
 }
 
 // Director is the control centre. All exported methods are safe for
-// concurrent use.
+// concurrent use. The timeout/retry knobs follow the repo convention —
+// zero selects the default, negative disables — and must be set before
+// Serve or the first outbound call.
 type Director struct {
+	// ControlTimeout bounds outbound control dials and each control-call
+	// read/write (default 10s).
+	ControlTimeout time.Duration
+	// Dedup2Timeout bounds the wait for a server's Dedup2Done reply —
+	// dedup-2 streams nothing while it works, so this is the maximum
+	// tolerated pass duration (default 15m).
+	Dedup2Timeout time.Duration
+	// Retries is the transient-failure retry budget for outbound control
+	// calls such as the dedup-2 trigger (default 2).
+	Retries int
+	// IdleTimeout reaps accepted connections whose peer goes silent
+	// (default 5m). Backup servers dial per control call, so an idle
+	// reap never strands a healthy peer.
+	IdleTimeout time.Duration
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	runs     map[string][]*Run // job → chronological runs (the job chain)
@@ -78,7 +123,7 @@ func New() *Director {
 // and appended to the metastore under the job's name, so per-job replay
 // order matches mutation order.
 type metaEvent struct {
-	Op       byte // 1 = run opened, 2 = file indexed, 3 = job defined
+	Op       byte // 1 = run opened, 2 = file indexed, 3 = job defined, 4 = run completed
 	Client   string
 	RunID    uint64
 	Started  time.Time
@@ -91,6 +136,7 @@ const (
 	evNewRun byte = 1 + iota
 	evFileIndex
 	evDefineJob
+	evEndRun
 )
 
 // NewDurable returns a director whose job catalog, runs and file indexes
@@ -125,6 +171,14 @@ func NewDurable(ms *metastore.Store) (*Director, error) {
 				for i := len(runs) - 1; i >= 0; i-- {
 					if runs[i].ID == ev.RunID {
 						runs[i].Files = append(runs[i].Files, ev.Entry)
+						break
+					}
+				}
+			case evEndRun:
+				runs := d.runs[job]
+				for i := len(runs) - 1; i >= 0; i-- {
+					if runs[i].ID == ev.RunID {
+						runs[i].Complete = true
 						break
 					}
 				}
@@ -267,13 +321,33 @@ func (d *Director) PutFileIndex(jobName string, runID uint64, e proto.FileEntry)
 	return fmt.Errorf("director: unknown run %d of job %q", runID, jobName)
 }
 
-// LatestFiles returns the most recent completed run's file entries.
+// EndRun marks a run complete: the backup server saw its BackupEnd, so
+// every needed chunk of the run's dataset was received.
+func (d *Director) EndRun(jobName string, runID uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	runs := d.runs[jobName]
+	for i := len(runs) - 1; i >= 0; i-- {
+		if runs[i].ID == runID {
+			if err := d.persist(jobName, metaEvent{Op: evEndRun, RunID: runID}); err != nil {
+				return err
+			}
+			runs[i].Complete = true
+			return nil
+		}
+	}
+	return fmt.Errorf("director: unknown run %d of job %q", runID, jobName)
+}
+
+// LatestFiles returns the most recent complete run's file entries. Runs
+// that never reached BackupEnd are skipped: their indexes may reference
+// chunks the server never received.
 func (d *Director) LatestFiles(jobName string) (uint64, []proto.FileEntry, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	runs := d.runs[jobName]
 	for i := len(runs) - 1; i >= 0; i-- {
-		if len(runs[i].Files) > 0 {
+		if runs[i].Complete && len(runs[i].Files) > 0 {
 			return runs[i].ID, runs[i].Files, nil
 		}
 	}
@@ -289,7 +363,10 @@ func (d *Director) FilterFPs(jobName string) []fp.FP {
 	defer d.mu.Unlock()
 	runs := d.runs[jobName]
 	for i := len(runs) - 1; i >= 0; i-- {
-		if len(runs[i].Files) > 0 {
+		// Only complete runs filter: an interrupted run's fingerprints may
+		// have no chunk behind them, and filtering on them would tell the
+		// next backup not to send data the server does not have.
+		if runs[i].Complete && len(runs[i].Files) > 0 {
 			var fps []fp.FP
 			for _, f := range runs[i].Files {
 				fps = append(fps, f.Chunks...)
@@ -302,32 +379,57 @@ func (d *Director) FilterFPs(jobName string) []fp.FP {
 
 // TriggerDedup2 asks every registered backup server to run dedup-2 (§3.1:
 // "the director initiates a dedup-2 job in which all the backup servers
-// cooperate to store new chunks").
+// cooperate to store new chunks"). Connection-level failures retry with
+// backoff — re-triggering dedup-2 is idempotent (a pass that already ran
+// finds an empty chunk log) — while a server-reported failure (Dedup2Done
+// with an error, e.g. a read-only store) is returned as-is.
 func (d *Director) TriggerDedup2(runSIU bool) error {
+	attempts := d.Retries + 1
+	if d.Retries == 0 {
+		attempts = defaultRetries + 1
+	} else if d.Retries < 0 {
+		attempts = 1
+	}
 	for _, addr := range d.Servers() {
-		conn, err := proto.Dial(addr)
+		err := retry.Policy{Attempts: attempts, Base: 100 * time.Millisecond}.Do(func() error {
+			return d.triggerOne(addr, runSIU)
+		})
 		if err != nil {
-			return fmt.Errorf("director: dedup-2 trigger: %w", err)
-		}
-		if err := conn.Send(proto.Dedup2Request{RunSIU: runSIU}); err != nil {
-			conn.Close()
 			return err
 		}
-		msg, err := conn.Recv()
-		conn.Close()
-		if err != nil {
-			return fmt.Errorf("director: dedup-2 reply: %w", err)
-		}
-		done, ok := msg.(proto.Dedup2Done)
-		if !ok {
-			return fmt.Errorf("director: unexpected dedup-2 reply %T", msg)
-		}
-		if done.Err != "" {
-			return fmt.Errorf("director: server %s dedup-2: %s", addr, done.Err)
-		}
-		d.logf("director: %s dedup-2 done: %d new, %d dup, %d containers",
-			addr, done.NewChunks, done.DupChunks, done.Containers)
 	}
+	return nil
+}
+
+// triggerOne runs one dedup-2 trigger round-trip against one server.
+func (d *Director) triggerOne(addr string, runSIU bool) error {
+	conn, err := proto.DialTimeout(addr, d.ControlTimeout)
+	if err != nil {
+		return fmt.Errorf("director: dedup-2 trigger: %w", err)
+	}
+	defer conn.Close()
+	// The read bound is the dedup-2 pass budget, not the control timeout:
+	// the server is silent until the pass finishes.
+	conn.SetTimeouts(
+		resolveTimeout(d.Dedup2Timeout, defaultDedup2Timeout),
+		resolveTimeout(d.ControlTimeout, defaultControlTimeout),
+	)
+	if err := conn.Send(proto.Dedup2Request{RunSIU: runSIU}); err != nil {
+		return err
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("director: dedup-2 reply: %w", err)
+	}
+	done, ok := msg.(proto.Dedup2Done)
+	if !ok {
+		return fmt.Errorf("director: unexpected dedup-2 reply %T", msg)
+	}
+	if done.Err != "" {
+		return fmt.Errorf("director: server %s dedup-2: %s", addr, done.Err)
+	}
+	d.logf("director: %s dedup-2 done: %d new, %d dup, %d containers",
+		addr, done.NewChunks, done.DupChunks, done.Containers)
 	return nil
 }
 
@@ -348,6 +450,12 @@ func (d *Director) Serve(addr string) (string, error) {
 				return
 			}
 			conn := proto.NewConn(c)
+			// Idle reap: a peer that goes silent (vanished server, cut
+			// link) releases its handler instead of pinning it forever.
+			conn.SetTimeouts(
+				resolveTimeout(d.IdleTimeout, defaultIdleTimeout),
+				resolveTimeout(d.ControlTimeout, defaultControlTimeout),
+			)
 			if !d.track(conn) {
 				conn.Close() // raced with Close
 				return
@@ -422,6 +530,12 @@ func (d *Director) handle(conn *proto.Conn) {
 			reply = proto.RegisterOK{ServerID: d.RegisterServer(m.Addr)}
 		case proto.NewRun:
 			reply = proto.NewRunOK{RunID: d.NewRun(m.JobName, m.Client)}
+		case proto.EndRun:
+			if err := d.EndRun(m.JobName, m.RunID); err != nil {
+				reply = proto.Ack{OK: false, Err: err.Error()}
+			} else {
+				reply = proto.Ack{OK: true}
+			}
 		case proto.PutFileIndex:
 			if err := d.PutFileIndex(m.JobName, m.RunID, m.Entry); err != nil {
 				reply = proto.Ack{OK: false, Err: err.Error()}

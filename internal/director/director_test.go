@@ -54,6 +54,16 @@ func TestRunsAndFileIndices(t *testing.T) {
 	if err := d.PutFileIndex("job", 999, entry); err == nil {
 		t.Fatal("unknown run accepted")
 	}
+	// Until the run is marked complete it is not a restore source.
+	if _, _, err := d.LatestFiles("job"); err == nil {
+		t.Fatal("incomplete run served as restore source")
+	}
+	if err := d.EndRun("job", 999); err == nil {
+		t.Fatal("EndRun accepted unknown run")
+	}
+	if err := d.EndRun("job", run1); err != nil {
+		t.Fatal(err)
+	}
 	id, files, err := d.LatestFiles("job")
 	if err != nil || id != run1 || len(files) != 1 {
 		t.Fatalf("LatestFiles = %d files run %d err %v", len(files), id, err)
@@ -72,6 +82,11 @@ func TestFilterFPsComeFromPreviousRun(t *testing.T) {
 	_ = d.PutFileIndex("job", run1, proto.FileEntry{
 		Path: "f", Chunks: []fp.FP{fp.FromUint64(1), fp.FromUint64(2)},
 	})
+	// An incomplete run contributes nothing.
+	if fps := d.FilterFPs("job"); fps != nil {
+		t.Fatal("filter fps from incomplete run")
+	}
+	_ = d.EndRun("job", run1)
 	// A new (empty) run does not hide the previous completed one.
 	_ = d.NewRun("job", "c")
 	fps := d.FilterFPs("job")
@@ -84,8 +99,10 @@ func TestJobChainAccumulatesRuns(t *testing.T) {
 	d := New()
 	r1 := d.NewRun("chain", "c")
 	_ = d.PutFileIndex("chain", r1, proto.FileEntry{Path: "v1", Chunks: []fp.FP{fp.FromUint64(1)}})
+	_ = d.EndRun("chain", r1)
 	r2 := d.NewRun("chain", "c")
 	_ = d.PutFileIndex("chain", r2, proto.FileEntry{Path: "v2", Chunks: []fp.FP{fp.FromUint64(2)}})
+	_ = d.EndRun("chain", r2)
 	id, files, err := d.LatestFiles("chain")
 	if err != nil || id != r2 {
 		t.Fatalf("latest run = %d err %v", id, err)
@@ -136,6 +153,12 @@ func TestServeHandlesMetadataProtocol(t *testing.T) {
 	msg, _ = conn.Recv()
 	if ack := msg.(proto.Ack); !ack.OK {
 		t.Fatalf("PutFileIndex refused: %s", ack.Err)
+	}
+
+	_ = conn.Send(proto.EndRun{JobName: "j", RunID: run.RunID})
+	msg, _ = conn.Recv()
+	if ack := msg.(proto.Ack); !ack.OK {
+		t.Fatalf("EndRun refused: %s", ack.Err)
 	}
 
 	_ = conn.Send(proto.GetJobFiles{JobName: "j"})

@@ -32,6 +32,9 @@ func TestDurableDirectorReplays(t *testing.T) {
 	if err := d.PutFileIndex("nightly", run1, entry); err != nil {
 		t.Fatal(err)
 	}
+	if err := d.EndRun("nightly", run1); err != nil {
+		t.Fatal(err)
+	}
 	run2 := d.NewRun("weekly", "host-b")
 	if run2 != run1+1 {
 		t.Fatalf("run IDs not sequential: %d then %d", run1, run2)
@@ -102,6 +105,9 @@ func TestDurableDirectorManyRuns(t *testing.T) {
 		id := d.NewRun("chain", "host")
 		e := proto.FileEntry{Path: fmt.Sprintf("/f%d", i), Chunks: []fp.FP{fp.FromUint64(uint64(i))}, Sizes: []uint32{8}}
 		if err := d.PutFileIndex("chain", id, e); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.EndRun("chain", id); err != nil {
 			t.Fatal(err)
 		}
 	}

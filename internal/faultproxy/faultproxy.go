@@ -1,0 +1,284 @@
+// Package faultproxy is a TCP chaos proxy for fault-injection tests: it
+// forwards connections to an upstream address while injecting the
+// network failures a backup system must survive — connections cut after
+// N forwarded bytes, half-open stalls (the link goes silent but no FIN
+// arrives, as after a client SIGKILL or NAT timeout), added latency and
+// jitter, and bandwidth caps.
+//
+// A Plan describes the faults; Plan.FailConns limits them to the first N
+// accepted connections so a test can deterministically break a client's
+// first attempt and let its automatic retry through clean:
+//
+//	px, _ := faultproxy.New(serverAddr)
+//	px.SetPlan(faultproxy.Plan{CutC2S: 256 << 10, FailConns: 1})
+//	client.ServerAddr = px.Addr()
+//	// first backup connection dies after 256 KiB uploaded; the retry
+//	// connects unimpeded and the job completes.
+//
+// The proxy is test infrastructure: correctness over throughput, and
+// Close tears down every live connection so stalled transfers cannot
+// leak goroutines past the test.
+package faultproxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan describes the faults applied to a proxied connection. Byte
+// thresholds count bytes forwarded in that direction on one connection;
+// zero disables the fault. C2S is client→upstream, S2C is upstream→client.
+type Plan struct {
+	// CutC2S / CutS2C close the whole connection (both directions, with
+	// FINs) once that many bytes have been forwarded that way.
+	CutC2S, CutS2C int64
+	// StallC2S / StallS2C stop forwarding after that many bytes but keep
+	// both sockets open — a half-open link. Only proxy Close (or the
+	// peers closing) releases the connection.
+	StallC2S, StallS2C int64
+	// Latency delays every forwarded read by a fixed duration; Jitter
+	// adds a uniform random [0, Jitter) on top.
+	Latency, Jitter time.Duration
+	// BandwidthBPS caps each direction's forwarding rate in bytes/sec.
+	BandwidthBPS int64
+	// FailConns applies the faults above only to the first FailConns
+	// accepted connections; later connections forward cleanly. Zero
+	// applies the plan to every connection.
+	FailConns int
+}
+
+// faulty reports whether the plan injects anything at all.
+func (p Plan) faulty() bool {
+	return p.CutC2S > 0 || p.CutS2C > 0 || p.StallC2S > 0 || p.StallS2C > 0 ||
+		p.Latency > 0 || p.Jitter > 0 || p.BandwidthBPS > 0
+}
+
+// Proxy is a running chaos proxy. Safe for concurrent use.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mu       sync.Mutex
+	plan     Plan
+	accepted int
+	conns    map[net.Conn]struct{}
+	closed   bool
+	release  chan struct{} // closed on Close: unblocks stalled pipes
+
+	wg sync.WaitGroup
+}
+
+// New starts a proxy on an ephemeral localhost port forwarding to
+// upstream. The initial plan is clean (no faults) until SetPlan.
+func New(upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultproxy: listen: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		conns:    make(map[net.Conn]struct{}),
+		release:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listening address for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetPlan installs the fault plan for subsequently accepted connections
+// and resets the accepted-connection counter FailConns is judged against.
+func (p *Proxy) SetPlan(plan Plan) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.plan = plan
+	p.accepted = 0
+}
+
+// Accepted returns the number of connections accepted since the last
+// SetPlan — how many attempts a retrying client actually made.
+func (p *Proxy) Accepted() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.accepted
+}
+
+// CutAll immediately severs every live proxied connection (the listener
+// keeps accepting). Simulates a network partition killing in-flight
+// transfers.
+func (p *Proxy) CutAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// Close stops the proxy, severs all connections, releases stalled
+// transfers and waits for every forwarding goroutine to exit.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.release)
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		p.accepted++
+		plan := p.plan
+		if plan.FailConns > 0 && p.accepted > plan.FailConns {
+			plan = Plan{} // past the faulty prefix: forward clean
+		}
+		p.conns[client] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go p.serve(client, plan)
+	}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn, plan Plan) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	defer client.Close()
+
+	up, err := net.DialTimeout("tcp", p.upstream, 10*time.Second)
+	if err != nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		up.Close()
+		return
+	}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+	defer p.forget(up)
+	defer up.Close()
+
+	// closeBoth severs the connection from either direction's pipe; the
+	// other direction's blocked Read then fails and its pipe exits.
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			client.Close()
+			up.Close()
+		})
+	}
+
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.pipe(up, client, plan.CutC2S, plan.StallC2S, plan, closeBoth)
+	}()
+	p.pipe(client, up, plan.CutS2C, plan.StallS2C, plan, closeBoth)
+}
+
+// pipe forwards src→dst applying the plan's faults for this direction.
+func (p *Proxy) pipe(dst, src net.Conn, cutAfter, stallAfter int64, plan Plan, closeBoth func()) {
+	buf := make([]byte, 32<<10)
+	var forwarded int64
+	for {
+		limit := int64(len(buf))
+		if cutAfter > 0 {
+			if rem := cutAfter - forwarded; rem < limit {
+				limit = rem
+			}
+		}
+		if stallAfter > 0 {
+			if rem := stallAfter - forwarded; rem < limit {
+				limit = rem
+			}
+		}
+		n, rerr := src.Read(buf[:limit])
+		if n > 0 {
+			if d := p.delay(plan, n); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-p.release:
+					closeBoth()
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				closeBoth()
+				return
+			}
+			forwarded += n64(n)
+			if cutAfter > 0 && forwarded >= cutAfter {
+				closeBoth() // cut: sever both directions
+				return
+			}
+			if stallAfter > 0 && forwarded >= stallAfter {
+				// Half-open: stop forwarding, keep both sockets open.
+				// Only proxy Close releases the connection.
+				<-p.release
+				closeBoth()
+				return
+			}
+		}
+		if rerr != nil {
+			if errors.Is(rerr, io.EOF) {
+				// Clean half-close: forward the FIN, let the reverse
+				// direction keep flowing.
+				if cw, ok := dst.(interface{ CloseWrite() error }); ok {
+					cw.CloseWrite()
+					return
+				}
+			}
+			closeBoth()
+			return
+		}
+	}
+}
+
+// delay computes the injected latency + pacing for n forwarded bytes.
+func (p *Proxy) delay(plan Plan, n int) time.Duration {
+	d := plan.Latency
+	if plan.Jitter > 0 {
+		d += time.Duration(rand.Int63n(int64(plan.Jitter)))
+	}
+	if plan.BandwidthBPS > 0 {
+		d += time.Duration(n64(n) * int64(time.Second) / plan.BandwidthBPS)
+	}
+	return d
+}
+
+func n64(n int) int64 { return int64(n) }

@@ -52,6 +52,32 @@
 // time; sends and receives may proceed concurrently with each other,
 // which is what the client's pipelined backup path relies on (decoupled
 // send and receive goroutines over one connection).
+//
+// # Bounded I/O
+//
+// Nothing in the protocol may wait forever. DialTimeout bounds connection
+// establishment and Conn.SetTimeouts arms per-I/O read/write deadlines:
+// each individual transport read or write must complete within the
+// configured duration or fail with a timeout error. The deadline is
+// re-armed before every syscall, so a slow-but-moving bulk transfer never
+// trips it — only a genuinely stalled peer does. Transports without
+// deadline support (in-memory pipes, buffers in tests) are accepted;
+// SetTimeouts is then a no-op.
+//
+// # Resumable restores
+//
+// RestoreFile.StartChunk lets a reconnecting client resume a file restore
+// mid-stream: the server skips the first StartChunk chunks of the entry
+// and streams the rest, echoing the granted StartChunk in RestoreBegin.
+// RestoreDone totals count only the streamed tail.
+//
+// # Typed failure frames
+//
+// Ack carries an ErrCode alongside the message, so clients can
+// distinguish permanent conditions (e.g. CodeReadOnly: the store took a
+// write fault and refuses backups) from transient ones. AckError converts
+// a refused Ack into a *RemoteError, which retry logic treats as
+// permanent: the peer answered, so retrying the same request is futile.
 package proto
 
 import (
@@ -59,10 +85,12 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"debar/internal/fp"
@@ -108,27 +136,106 @@ func putBuf(bp *[]byte) {
 	bufPool.Put(bp)
 }
 
+// deadliner is the subset of net.Conn the timeout layer needs. Transports
+// that don't implement it (pipes, buffers in tests) get no deadlines.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// timeoutRW arms a fresh read/write deadline before every underlying I/O
+// operation, so a single stalled syscall — not a long transfer making
+// steady progress — fails with a timeout. Timeouts are stored atomically:
+// SetTimeouts may race with in-flight Send/Recv goroutines.
+type timeoutRW struct {
+	rw      io.ReadWriteCloser
+	dl      deadliner // nil when rw has no deadline support
+	readTO  atomic.Int64
+	writeTO atomic.Int64
+}
+
+func (t *timeoutRW) Read(p []byte) (int, error) {
+	if t.dl != nil {
+		if to := time.Duration(t.readTO.Load()); to > 0 {
+			t.dl.SetReadDeadline(time.Now().Add(to))
+		}
+	}
+	return t.rw.Read(p)
+}
+
+func (t *timeoutRW) Write(p []byte) (int, error) {
+	if t.dl != nil {
+		if to := time.Duration(t.writeTO.Load()); to > 0 {
+			t.dl.SetWriteDeadline(time.Now().Add(to))
+		}
+	}
+	return t.rw.Write(p)
+}
+
+func (t *timeoutRW) Close() error { return t.rw.Close() }
+
 // Conn wraps a transport with framed encoding of protocol messages.
 type Conn struct {
 	wmu sync.Mutex
 	bw  *bufio.Writer
 	rmu sync.Mutex
 	br  *bufio.Reader
-	raw io.ReadWriteCloser
+	trw *timeoutRW
 }
 
 // NewConn wraps an established transport.
 func NewConn(rw io.ReadWriteCloser) *Conn {
+	trw := &timeoutRW{rw: rw}
+	if dl, ok := rw.(deadliner); ok {
+		trw.dl = dl
+	}
 	return &Conn{
-		bw:  bufio.NewWriterSize(rw, 64<<10),
-		br:  bufio.NewReaderSize(rw, 64<<10),
-		raw: rw,
+		bw:  bufio.NewWriterSize(trw, 64<<10),
+		br:  bufio.NewReaderSize(trw, 64<<10),
+		trw: trw,
 	}
 }
 
-// Dial connects to a DEBAR endpoint.
+// SetTimeouts arms per-I/O deadlines on the connection: every subsequent
+// transport read (write) must complete within the read (write) duration.
+// Zero or negative disables that direction's deadline. A no-op when the
+// underlying transport has no deadline support.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	if read < 0 {
+		read = 0
+	}
+	if write < 0 {
+		write = 0
+	}
+	c.trw.readTO.Store(int64(read))
+	c.trw.writeTO.Store(int64(write))
+	if c.trw.dl != nil {
+		// Clear any deadline armed by a previous configuration so a
+		// disabled direction cannot trip on a stale timer.
+		if read == 0 {
+			c.trw.dl.SetReadDeadline(time.Time{})
+		}
+		if write == 0 {
+			c.trw.dl.SetWriteDeadline(time.Time{})
+		}
+	}
+}
+
+// DefaultDialTimeout bounds Dial's connection establishment.
+const DefaultDialTimeout = 10 * time.Second
+
+// Dial connects to a DEBAR endpoint with the default dial timeout.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a DEBAR endpoint, failing if the connection
+// cannot be established within timeout (<= 0 selects the default).
+func DialTimeout(addr string, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
 	}
@@ -268,7 +375,7 @@ func (c *Conn) Recv() (any, error) {
 }
 
 // Close closes the transport.
-func (c *Conn) Close() error { return c.raw.Close() }
+func (c *Conn) Close() error { return c.trw.Close() }
 
 // errShort reports a truncated binary payload.
 func errShort(what string) error {
@@ -399,16 +506,17 @@ func (m Ack) encode(buf []byte) []byte {
 	if m.OK {
 		ok = 1
 	}
-	buf = append(buf, ok)
+	buf = append(buf, ok, byte(m.Code))
 	return append(buf, m.Err...)
 }
 
 func (m *Ack) decode(p []byte) error {
-	if len(p) < 1 {
+	if len(p) < 2 {
 		return errShort("Ack")
 	}
 	m.OK = p[0] != 0
-	m.Err = string(p[1:])
+	m.Code = ErrCode(p[1])
+	m.Err = string(p[2:])
 	return nil
 }
 
@@ -461,7 +569,8 @@ func decodeFileEntry(p []byte) (FileEntry, []byte, error) {
 func (m RestoreBegin) encode(buf []byte) []byte {
 	buf = appendFileEntry(buf, m.Entry)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(m.BatchChunks))
-	return binary.BigEndian.AppendUint32(buf, uint32(m.Window))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(m.Window))
+	return binary.BigEndian.AppendUint64(buf, m.StartChunk)
 }
 
 func (m *RestoreBegin) decode(p []byte) error {
@@ -469,12 +578,13 @@ func (m *RestoreBegin) decode(p []byte) error {
 	if err != nil {
 		return err
 	}
-	if len(rest) != 8 {
+	if len(rest) != 16 {
 		return errShort("RestoreBegin")
 	}
 	m.Entry = e
 	m.BatchChunks = int(binary.BigEndian.Uint32(rest))
 	m.Window = int(binary.BigEndian.Uint32(rest[4:]))
+	m.StartChunk = binary.BigEndian.Uint64(rest[8:])
 	return nil
 }
 
@@ -582,10 +692,59 @@ type ChunkBatch struct {
 	Data      [][]byte
 }
 
+// ErrCode classifies a refused request beyond the human-readable Err
+// string, so clients can react to specific conditions programmatically.
+type ErrCode byte
+
+const (
+	// CodeNone is an unclassified failure.
+	CodeNone ErrCode = iota
+	// CodeReadOnly: the server's store took a write fault (ENOSPC, I/O
+	// error) and is serving reads only; backups are refused until the
+	// operator restarts the server with the fault cleared.
+	CodeReadOnly
+)
+
 // Ack is a generic success/failure reply.
 type Ack struct {
-	OK  bool
-	Err string
+	OK   bool
+	Code ErrCode
+	Err  string
+}
+
+// RemoteError is a failure the peer reported in-band (a refused Ack or an
+// error carried in a reply message). It is permanent from retry logic's
+// point of view: the peer received and answered the request, so retrying
+// the identical request cannot succeed.
+type RemoteError struct {
+	Code ErrCode
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	if e.Code == CodeReadOnly {
+		return "remote: [read-only] " + e.Msg
+	}
+	return "remote: " + e.Msg
+}
+
+// Permanent marks the error as non-retryable for retry.Transient.
+func (e *RemoteError) Permanent() bool { return true }
+
+// AckError converts an Ack into an error: nil when OK, otherwise a
+// *RemoteError carrying the peer's code and message.
+func AckError(a Ack) error {
+	if a.OK {
+		return nil
+	}
+	return &RemoteError{Code: a.Code, Msg: a.Err}
+}
+
+// IsReadOnly reports whether err (anywhere in its chain) is a remote
+// refusal because the peer's store is in read-only mode.
+func IsReadOnly(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeReadOnly
 }
 
 // FileMeta records one completed file's metadata and index.
@@ -611,12 +770,15 @@ type BackupDone struct {
 // receiver sizes its own flow control: BatchChunks bounds the chunks per
 // RestoreChunkBatch and Window the unacknowledged batches the server may
 // keep in flight. Zero selects the server defaults; the server clamps
-// both and echoes the granted values in RestoreBegin.
+// both and echoes the granted values in RestoreBegin. StartChunk resumes
+// an interrupted restore: the server skips that many leading chunks of
+// the entry and streams the remainder.
 type RestoreFile struct {
 	JobName     string
 	Path        string
 	BatchChunks int
 	Window      int
+	StartChunk  uint64
 }
 
 // RestoreMeta asks for a file's entry only — metadata plus the chunk
@@ -629,11 +791,14 @@ type RestoreMeta struct {
 }
 
 // RestoreBegin opens a restore stream (or answers RestoreMeta): the
-// file's entry plus the granted flow-control parameters.
+// file's entry plus the granted flow-control parameters. StartChunk
+// echoes the resume offset the server honoured (0 on a fresh restore);
+// the stream carries the entry's chunks from StartChunk onward.
 type RestoreBegin struct {
 	Entry       FileEntry
 	BatchChunks int
 	Window      int
+	StartChunk  uint64
 }
 
 // RestoreChunkBatch carries consecutive chunk payloads of the file being
@@ -734,6 +899,16 @@ type NewRunOK struct {
 	RunID uint64
 }
 
+// EndRun marks a run complete: every chunk of its dataset was received
+// by the backup server. Only complete runs may serve as a restore source
+// or as the job chain's filtering fingerprints — an interrupted run's
+// file indexes can reference chunks that never reached the server, and
+// trusting them would filter away data that was never stored.
+type EndRun struct {
+	JobName string
+	RunID   uint64
+}
+
 func init() {
 	for _, m := range []any{
 		BackupStart{}, BackupStartOK{}, FPBatch{}, FPVerdicts{},
@@ -743,6 +918,7 @@ func init() {
 		Dedup2Request{}, Dedup2Done{},
 		RegisterServer{}, RegisterOK{}, PutFileIndex{}, GetJobFiles{},
 		JobFiles{}, GetFilterFPs{}, FilterFPs{}, NewRun{}, NewRunOK{},
+		EndRun{},
 	} {
 		gob.Register(m)
 	}

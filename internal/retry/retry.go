@@ -1,0 +1,110 @@
+// Package retry provides the backoff policy and transient-error
+// classification shared by DEBAR's client and control-plane callers.
+//
+// The split of labour with the wire protocol: internal/proto reports
+// failures, this package decides whether repeating the operation can
+// help. Network-layer failures (connection refused/reset, timeouts,
+// half-open stalls surfacing as EOF mid-frame) are transient — the peer
+// may come back, and every retried DEBAR operation is idempotent
+// (fingerprint re-offer, restore resume, dedup-2 trigger). Failures the
+// peer reported in-band (proto.RemoteError and anything else exposing a
+// `Permanent() bool` method returning true) are not: the request arrived
+// and was answered, so retrying the identical request is futile.
+package retry
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+)
+
+// Policy describes an exponential-backoff retry budget.
+type Policy struct {
+	// Attempts is the total number of tries, including the first.
+	// Values below 1 behave as 1 (no retries).
+	Attempts int
+	// Base is the delay before the first retry; it doubles per retry.
+	// Zero selects 100ms.
+	Base time.Duration
+	// Cap bounds the grown delay. Zero selects 5s.
+	Cap time.Duration
+}
+
+// Defaults fills zero fields with the package defaults.
+func (p Policy) Defaults() Policy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+	return p
+}
+
+// Backoff returns the jittered delay to sleep after the given zero-based
+// failed attempt: Base doubled per attempt, capped at Cap, drawn
+// uniformly from [d/2, d) so synchronized clients spread out.
+func (p Policy) Backoff(attempt int) time.Duration {
+	p = p.Defaults()
+	d := p.Base
+	for i := 0; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// Do runs op until it succeeds, fails permanently, or the attempt budget
+// is exhausted, sleeping the jittered backoff between attempts. The last
+// error is returned.
+func (p Policy) Do(op func() error) error {
+	p = p.Defaults()
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(p.Backoff(attempt - 1))
+		}
+		if err = op(); err == nil || !Transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// permanent is implemented by errors that must never be retried even
+// though a network error may wrap them (notably proto.RemoteError).
+type permanent interface{ Permanent() bool }
+
+// Transient reports whether err looks like a failure that a retry of the
+// same idempotent operation could survive: connection-level errors,
+// deadline expiries, and streams cut mid-frame. Errors marked Permanent
+// and all non-network failures (bad input, local disk errors, protocol
+// violations) are not transient.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var p permanent
+	if errors.As(err, &p) && p.Permanent() {
+		return false
+	}
+	// A peer vanishing mid-frame surfaces as EOF/ErrUnexpectedEOF from
+	// the framing layer; deadline expiry as os.ErrDeadlineExceeded.
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	// net.Error covers *net.OpError (dial refused, reset by peer, broken
+	// pipe) and transport timeout errors.
+	var ne net.Error
+	return errors.As(err, &ne)
+}

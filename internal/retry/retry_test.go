@@ -1,0 +1,84 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+type permErr struct{ error }
+
+func (permErr) Permanent() bool { return true }
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"wrapped-eof", fmt.Errorf("recv: %w", io.EOF), true},
+		{"deadline", os.ErrDeadlineExceeded, true},
+		{"op-error", &net.OpError{Op: "dial", Err: errors.New("refused")}, true},
+		{"plain", errors.New("bad request"), false},
+		{"permanent", permErr{errors.New("refused by peer")}, false},
+		{"wrapped-permanent", fmt.Errorf("call: %w", permErr{errors.New("x")}), false},
+	}
+	for _, c := range cases {
+		if got := Transient(c.err); got != c.want {
+			t.Errorf("%s: Transient = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: time.Second}
+	for attempt, wantMax := range []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	} {
+		d := p.Backoff(attempt)
+		if d < wantMax/2 || d > wantMax {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", attempt, d, wantMax/2, wantMax)
+		}
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	calls := 0
+	err := Policy{Attempts: 4, Base: time.Millisecond}.Do(func() error {
+		calls++
+		if calls < 3 {
+			return io.EOF
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+
+	calls = 0
+	perm := permErr{errors.New("no")}
+	err = Policy{Attempts: 4, Base: time.Millisecond}.Do(func() error {
+		calls++
+		return perm
+	})
+	if !errors.As(err, &permErr{}) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want permanent error after 1", err, calls)
+	}
+
+	calls = 0
+	err = Policy{Attempts: 3, Base: time.Millisecond}.Do(func() error {
+		calls++
+		return io.EOF
+	})
+	if !errors.Is(err, io.EOF) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want EOF after exhausting 3 attempts", err, calls)
+	}
+}

@@ -1,0 +1,123 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"debar/internal/director"
+	"debar/internal/fp"
+	"debar/internal/proto"
+	"debar/internal/server"
+)
+
+// TestIdleSessionReaped is the reaper regression test: a client opens a
+// backup session, ships one chunk, and vanishes without closing the
+// connection (no FIN ever arrives — the handler can only notice via its
+// idle read deadline). The server must reap the session, and the orphaned
+// chunk's fingerprint must survive into the pending set so the next
+// dedup-2 pass stores it rather than the quiet-truncation path discarding
+// it.
+func TestIdleSessionReaped(t *testing.T) {
+	dir := director.New()
+	dirAddr, err := dir.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+	srv, err := server.New(server.Config{
+		DirectorAddr: dirAddr,
+		IndexBits:    12,
+		IdleTimeout:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srvAddr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.BackupStart{JobName: "reap-job", Client: "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, is := msg.(proto.BackupStartOK)
+	if !is {
+		t.Fatalf("BackupStart reply = %T %+v", msg, msg)
+	}
+	sess := ok.SessionID
+
+	chunk := []byte("orphaned chunk payload that must survive the vanished session")
+	f := fp.New(chunk)
+	if err := conn.Send(proto.FPBatch{
+		SessionID: sess, Seq: 0, FPs: []fp.FP{f}, Sizes: []uint32{uint32(len(chunk))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, is := msg.(proto.FPVerdicts)
+	if !is || len(verdicts.Need) != 1 || !verdicts.Need[0] {
+		t.Fatalf("FPBatch reply = %T %+v, want need=[true]", msg, msg)
+	}
+	if err := conn.Send(proto.ChunkBatch{
+		SessionID: sess, FPs: []fp.FP{f}, Data: [][]byte{chunk},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	} else if ack, is := msg.(proto.Ack); !is || !ack.OK {
+		t.Fatalf("ChunkBatch reply = %T %+v", msg, msg)
+	}
+
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d before the idle reap, want 1", n)
+	}
+
+	// Go silent. The TCP connection stays open (no Close), so only the
+	// idle read deadline can free the handler and reclaim the session.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.SessionCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session was never reaped")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The reclaimed fingerprint must reach dedup-2: exactly the one
+	// orphaned chunk gets stored.
+	c2, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Send(proto.Dedup2Request{RunSIU: true}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = c2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, is := msg.(proto.Dedup2Done)
+	if !is {
+		t.Fatalf("Dedup2Request reply = %T %+v", msg, msg)
+	}
+	if done.Err != "" {
+		t.Fatalf("dedup-2 after reap failed: %s", done.Err)
+	}
+	if done.NewChunks != 1 {
+		t.Fatalf("dedup-2 stored %d new chunks, want the 1 reclaimed orphan", done.NewChunks)
+	}
+}

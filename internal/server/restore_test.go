@@ -3,7 +3,6 @@ package server_test
 import (
 	"bytes"
 	"errors"
-	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -12,25 +11,11 @@ import (
 	"time"
 
 	"debar/internal/director"
+	"debar/internal/faultproxy"
 	"debar/internal/fp"
 	"debar/internal/proto"
 	"debar/internal/server"
 )
-
-// deadlineConn applies a fresh read deadline before every Read, so a
-// protocol-level stall surfaces as a timeout error instead of hanging the
-// test.
-type deadlineConn struct {
-	net.Conn
-	d time.Duration
-}
-
-func (c *deadlineConn) Read(p []byte) (int, error) {
-	if err := c.SetReadDeadline(time.Now().Add(c.d)); err != nil {
-		return 0, err
-	}
-	return c.Conn.Read(p)
-}
 
 // writeBigFile writes one deterministic multi-chunk file and returns its
 // content.
@@ -67,8 +52,8 @@ func TestRestoreWindowBoundsInFlightBatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dc := &deadlineConn{Conn: nc, d: 5 * time.Second}
-	conn := proto.NewConn(dc)
+	conn := proto.NewConn(nc)
+	conn.SetTimeouts(5*time.Second, 5*time.Second)
 	defer conn.Close()
 
 	const window = 2
@@ -94,6 +79,8 @@ func TestRestoreWindowBoundsInFlightBatches(t *testing.T) {
 	}
 
 	// Withhold acks: exactly `window` batches must arrive, then silence.
+	// The stall probes shorten the connection's read deadline so a
+	// correctly-stalled server surfaces as a quick timeout, not a hang.
 	var got bytes.Buffer
 	chunkIdx := 0
 	takeBatch := func(wantSeq uint64) {
@@ -122,7 +109,7 @@ func TestRestoreWindowBoundsInFlightBatches(t *testing.T) {
 
 	// The stall probe: with the window exhausted and no credits granted,
 	// nothing may arrive.
-	dc.d = 400 * time.Millisecond
+	conn.SetTimeouts(400*time.Millisecond, 5*time.Second)
 	if msg, err := conn.Recv(); err == nil {
 		t.Fatalf("server sent %T beyond the unacknowledged window", msg)
 	} else {
@@ -133,18 +120,18 @@ func TestRestoreWindowBoundsInFlightBatches(t *testing.T) {
 	}
 
 	// One credit buys exactly one batch.
-	dc.d = 5 * time.Second
+	conn.SetTimeouts(5*time.Second, 5*time.Second)
 	if err := conn.Send(proto.RestoreAck{Seq: 0}); err != nil {
 		t.Fatal(err)
 	}
 	takeBatch(2)
-	dc.d = 400 * time.Millisecond
+	conn.SetTimeouts(400*time.Millisecond, 5*time.Second)
 	if msg, err := conn.Recv(); err == nil {
 		t.Fatalf("server sent %T after a single credit", msg)
 	}
 
 	// Release the stream and drain it to completion.
-	dc.d = 5 * time.Second
+	conn.SetTimeouts(5*time.Second, 5*time.Second)
 	for seq := uint64(1); seq < uint64(nBatches); seq++ {
 		if err := conn.Send(proto.RestoreAck{Seq: seq}); err != nil {
 			t.Fatal(err)
@@ -171,9 +158,11 @@ func TestRestoreWindowBoundsInFlightBatches(t *testing.T) {
 }
 
 // TestRestoreInterruptedMidStream cuts the connection after a fixed
-// number of server→client bytes (via a byte-limited proxy): the client
+// number of server→client bytes (via the chaos proxy): the client
 // must surface a clean error promptly and must not leave a partial file
-// in the destination.
+// in the destination. Retries are disabled — this asserts the
+// single-attempt failure path; retry-and-resume is covered by the chaos
+// suite at the repo root.
 func TestRestoreInterruptedMidStream(t *testing.T) {
 	d, srvAddr := startSystem(t)
 	src := t.TempDir()
@@ -187,32 +176,18 @@ func TestRestoreInterruptedMidStream(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Proxy that forwards the client→server direction untouched but cuts
-	// both sockets after 256 KB of server→client traffic — mid-stream for
-	// a 2 MB restore.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	// Cut both sockets after 256 KB of server→client traffic —
+	// mid-stream for a 2 MB restore.
+	px, err := faultproxy.New(srvAddr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer ln.Close()
-	go func() {
-		cl, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		up, err := net.Dial("tcp", srvAddr)
-		if err != nil {
-			cl.Close()
-			return
-		}
-		go io.Copy(up, cl)
-		io.CopyN(cl, up, 256<<10)
-		cl.Close()
-		up.Close()
-	}()
+	defer px.Close()
+	px.SetPlan(faultproxy.Plan{CutS2C: 256 << 10})
 
-	rc := testClient(ln.Addr().String())
+	rc := testClient(px.Addr())
 	rc.RestoreBatchSize = 32 // many batches: the cut lands mid-stream
+	rc.Retries = -1          // single attempt: the failure itself is under test
 	dst := t.TempDir()
 	// A pre-existing file at the destination must survive a failed
 	// restore untouched: the stream lands in a temp file until verified.

@@ -10,6 +10,8 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"syscall"
+	"time"
 
 	"debar/internal/chunklog"
 	"debar/internal/container"
@@ -17,6 +19,7 @@ import (
 	"debar/internal/fp"
 	"debar/internal/prefilter"
 	"debar/internal/proto"
+	"debar/internal/retry"
 	"debar/internal/store"
 	"debar/internal/tpds"
 )
@@ -56,6 +59,35 @@ type Config struct {
 	// needed) a store engine at the path with this Config's index
 	// geometry. The daemon binaries set it from -data-dir.
 	DataDir string
+
+	// IdleTimeout is the per-connection idle read deadline and the
+	// server's session reaper in one: a connection that goes silent for
+	// this long (client SIGKILL, NAT half-open, cut link with no FIN) is
+	// closed, and any backup sessions it opened are reclaimed — their
+	// undetermined fingerprints move to the pending set so the chunks
+	// already logged survive to the next dedup-2 pass instead of leaking
+	// until process exit. 0 selects 5 minutes; negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each transport write on accepted connections,
+	// so a stalled peer cannot pin a restore stream forever. Per-syscall,
+	// not per-file: a slow-but-moving bulk restore never trips it.
+	// 0 selects 2 minutes; negative disables.
+	WriteTimeout time.Duration
+	// ControlTimeout bounds the dial and each I/O of the server's
+	// outbound director control calls. 0 selects 10 seconds; negative
+	// disables the I/O deadlines.
+	ControlTimeout time.Duration
+	// ControlRetries is how many extra attempts a transient director
+	// control-call failure gets (the calls — NewRun, PutFileIndex,
+	// GetJobFiles — are idempotent or tolerate duplicates). 0 selects 2;
+	// negative disables retries.
+	ControlRetries int
+
+	// Dedup2StageHook, when non-nil, is invoked at dedup-2 stage
+	// boundaries ("sil-stored" after the sharded SIL container commits,
+	// "siu-done" after the index writes). Fault-injection tests use it to
+	// snapshot or kill the store between stages; production leaves it nil.
+	Dedup2StageHook func(stage string)
 }
 
 func (c Config) withDefaults() Config {
@@ -86,7 +118,27 @@ func (c Config) withDefaults() Config {
 	if c.SILWorkers < 1 {
 		c.SILWorkers = 1
 	}
+	c.IdleTimeout = resolveTimeout(c.IdleTimeout, 5*time.Minute)
+	c.WriteTimeout = resolveTimeout(c.WriteTimeout, 2*time.Minute)
+	c.ControlTimeout = resolveTimeout(c.ControlTimeout, 10*time.Second)
+	if c.ControlRetries == 0 {
+		c.ControlRetries = 2
+	} else if c.ControlRetries < 0 {
+		c.ControlRetries = 0
+	}
 	return c
+}
+
+// resolveTimeout maps the knob convention (0 = default, negative =
+// disabled) onto a concrete duration where 0 means disabled.
+func resolveTimeout(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // maxSILWorkers caps the GOMAXPROCS-derived dedup-2 parallelism: past a
@@ -135,6 +187,7 @@ type session struct {
 	mu       sync.Mutex
 	filter   *prefilter.Filter
 	overflow []fp.FP // new fingerprints the saturated filter couldn't hold
+	logged   []fp.FP // fingerprints whose chunk data landed in the chunk log
 	logical  int64
 	xfer     int64
 	newFPs   int64
@@ -252,21 +305,10 @@ func (s *Server) Serve(addr string) (string, error) {
 	s.mu.Unlock()
 
 	if s.cfg.DirectorAddr != "" {
-		conn, err := proto.Dial(s.cfg.DirectorAddr)
+		msg, err := s.directorCall(proto.RegisterServer{Addr: s.addr})
 		if err != nil {
 			ln.Close()
 			return "", fmt.Errorf("server: registering with director: %w", err)
-		}
-		if err := conn.Send(proto.RegisterServer{Addr: s.addr}); err != nil {
-			conn.Close()
-			ln.Close()
-			return "", err
-		}
-		msg, err := conn.Recv()
-		conn.Close()
-		if err != nil {
-			ln.Close()
-			return "", fmt.Errorf("server: director registration reply: %w", err)
 		}
 		if ok, is := msg.(proto.RegisterOK); is {
 			s.serverID = ok.ServerID
@@ -280,6 +322,10 @@ func (s *Server) Serve(addr string) (string, error) {
 				return
 			}
 			conn := proto.NewConn(c)
+			// The idle read deadline doubles as the session reaper's
+			// trigger: a silent peer fails the handler's Recv, and the
+			// handler's exit path reclaims its sessions.
+			conn.SetTimeouts(s.cfg.IdleTimeout, s.cfg.WriteTimeout)
 			if !s.track(conn) {
 				conn.Close() // raced with Close
 				return
@@ -344,25 +390,41 @@ func (s *Server) Close() error {
 	return err
 }
 
-// director opens a fresh control connection to the director.
+// director opens a fresh control connection to the director, with the
+// control dial and I/O deadlines armed.
 func (s *Server) director() (*proto.Conn, error) {
 	if s.cfg.DirectorAddr == "" {
 		return nil, errors.New("server: no director configured")
 	}
-	return proto.Dial(s.cfg.DirectorAddr)
-}
-
-// directorCall sends one request and decodes one reply.
-func (s *Server) directorCall(req any) (any, error) {
-	conn, err := s.director()
+	conn, err := proto.DialTimeout(s.cfg.DirectorAddr, s.cfg.ControlTimeout)
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	if err := conn.Send(req); err != nil {
-		return nil, err
-	}
-	return conn.Recv()
+	conn.SetTimeouts(s.cfg.ControlTimeout, s.cfg.ControlTimeout)
+	return conn, nil
+}
+
+// directorCall sends one request and decodes one reply, retrying
+// transient failures (director restarting, dropped connection) with
+// backoff. Every control call is safe to repeat: NewRun at worst
+// allocates an extra run that stays empty, PutFileIndex tolerates a
+// duplicate entry (the restore path resolves by path, last write wins),
+// and the reads are pure.
+func (s *Server) directorCall(req any) (any, error) {
+	var reply any
+	err := retry.Policy{Attempts: s.cfg.ControlRetries + 1, Base: 50 * time.Millisecond}.Do(func() error {
+		conn, err := s.director()
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := conn.Send(req); err != nil {
+			return err
+		}
+		reply, err = conn.Recv()
+		return err
+	})
+	return reply, err
 }
 
 // jobFilesCache memoises one job's file entries for the lifetime of a
@@ -377,10 +439,23 @@ type jobFilesCache struct {
 	entries map[string]proto.FileEntry
 }
 
+// connState is the per-connection handler state: the job-files cache
+// plus the backup sessions opened on this connection, so the handler's
+// exit path can reclaim sessions whose client vanished. Owned by a
+// single handler goroutine — no locking.
+type connState struct {
+	jfc  jobFilesCache
+	sess []uint64
+}
+
 func (s *Server) handle(conn *proto.Conn) {
 	defer s.untrack(conn)
 	defer conn.Close()
-	var jfc jobFilesCache
+	st := &connState{}
+	// The reaper: however this handler exits — peer hung up, link cut,
+	// idle deadline expired, server closing — sessions that never reached
+	// BackupEnd are reclaimed so their fingerprints survive to dedup-2.
+	defer s.reclaimSessions(st)
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
@@ -391,14 +466,19 @@ func (s *Server) handle(conn *proto.Conn) {
 		// dispatch. streamRestore only errors when the connection itself
 		// is dead.
 		if rf, ok := msg.(proto.RestoreFile); ok {
-			if err := s.streamRestore(conn, &jfc, rf); err != nil {
+			if err := s.streamRestore(conn, &st.jfc, rf); err != nil {
 				return
 			}
 			continue
 		}
-		reply, err := s.dispatch(msg, &jfc)
+		reply, err := s.dispatch(msg, st)
 		if err != nil {
-			reply = proto.Ack{OK: false, Err: err.Error()}
+			ack := proto.Ack{OK: false, Err: err.Error()}
+			var re *proto.RemoteError
+			if errors.As(err, &re) {
+				ack.Code, ack.Err = re.Code, re.Msg
+			}
+			reply = ack
 		}
 		if err := conn.Send(reply); err != nil {
 			return
@@ -406,10 +486,45 @@ func (s *Server) handle(conn *proto.Conn) {
 	}
 }
 
-func (s *Server) dispatch(msg any, jfc *jobFilesCache) (any, error) {
+// reclaimSessions moves a vanished client's collected fingerprints to
+// the pending set and removes its sessions. Ordering matters for the
+// quiet-truncation invariant in runDedup2: the fingerprints are made
+// pending while the session is still in the table, so any concurrent
+// pass either sees the session (not quiet — no truncation) or starts
+// after the removal (and drains the fingerprints); the epoch bump
+// invalidates passes that straddle the removal. The chunks already in
+// the log therefore always survive to a pass that stores them.
+func (s *Server) reclaimSessions(st *connState) {
+	for _, id := range st.sess {
+		s.mu.Lock()
+		sess, ok := s.sessions[id]
+		s.mu.Unlock()
+		if !ok {
+			continue // reached BackupEnd normally
+		}
+		// Reclaim only fingerprints whose chunk data reached the log —
+		// NOT the filter's full new-mark set: marks whose chunks were
+		// still in flight when the client died have no bytes behind them,
+		// and making them pending would prime the retry's filter to skip
+		// chunks the server never received.
+		sess.mu.Lock()
+		und := sess.logged
+		sess.logged = nil
+		sess.mu.Unlock()
+		s.pendMu.Lock()
+		s.pending = append(s.pending, und...)
+		s.pendMu.Unlock()
+		s.mu.Lock()
+		delete(s.sessions, id)
+		s.sessEpoch++
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) dispatch(msg any, st *connState) (any, error) {
 	switch m := msg.(type) {
 	case proto.BackupStart:
-		return s.startBackup(m)
+		return s.startBackup(m, st)
 	case proto.FPBatch:
 		return s.fpBatch(m)
 	case proto.ChunkBatch:
@@ -421,7 +536,7 @@ func (s *Server) dispatch(msg any, jfc *jobFilesCache) (any, error) {
 	case proto.ListFiles:
 		return s.listFiles(m)
 	case proto.RestoreMeta:
-		return s.restoreMeta(m, jfc)
+		return s.restoreMeta(m, &st.jfc)
 	case proto.Dedup2Request:
 		return s.runDedup2(m)
 	default:
@@ -429,7 +544,18 @@ func (s *Server) dispatch(msg any, jfc *jobFilesCache) (any, error) {
 	}
 }
 
-func (s *Server) startBackup(m proto.BackupStart) (any, error) {
+// readOnlyRefusal builds the typed in-band error for a store that took a
+// write fault; clients surface it without retrying.
+func readOnlyRefusal(cause error) *proto.RemoteError {
+	return &proto.RemoteError{Code: proto.CodeReadOnly, Msg: "server: store is read-only: " + cause.Error()}
+}
+
+func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
+	if s.storage != nil {
+		if roErr := s.storage.ReadOnlyErr(); roErr != nil {
+			return nil, readOnlyRefusal(roErr)
+		}
+	}
 	// Allocate a run with the director and fetch the job chain's
 	// filtering fingerprints (§5.1).
 	var runID uint64
@@ -455,6 +581,24 @@ func (s *Server) startBackup(m proto.BackupStart) (any, error) {
 	for _, f := range filterFPs {
 		filter.Prime(f)
 	}
+	// Resume priming: fingerprints already awaiting dedup-2 (from an
+	// earlier interrupted session — reclaimed on connection death — or an
+	// incomplete pass) have their chunk data in the log or in committed
+	// containers, so a retrying client that re-offers them gets "don't
+	// transfer" verdicts instead of re-shipping the bytes. This is what
+	// makes reconnect-and-re-run an efficient resume: the fingerprint
+	// exchange is idempotent, only the not-yet-landed chunks move again.
+	s.pendMu.Lock()
+	primed := make([]fp.FP, 0, len(s.pending)+len(s.unreg))
+	primed = append(primed, s.pending...)
+	for _, e := range s.unreg {
+		primed = append(primed, e.FP)
+	}
+	s.pendMu.Unlock()
+	for _, f := range primed {
+		filter.Prime(f)
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSess++
@@ -466,6 +610,7 @@ func (s *Server) startBackup(m proto.BackupStart) (any, error) {
 		filter:  filter,
 	}
 	s.sessions[sess.id] = sess
+	st.sess = append(st.sess, sess.id)
 	return proto.BackupStartOK{SessionID: sess.id}, nil
 }
 
@@ -522,18 +667,39 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 			return nil, fmt.Errorf("server: chunk %d fingerprint mismatch (corruption in transit)", i)
 		}
 	}
+	if s.storage != nil {
+		if roErr := s.storage.ReadOnlyErr(); roErr != nil {
+			return nil, readOnlyRefusal(roErr)
+		}
+	}
 	// The batch's Data slices alias the connection's receive buffer,
 	// whose ownership passed to this message (proto's zero-copy decode),
 	// so the log can retain them without another copy.
 	var batchBytes int64
 	for i, f := range m.FPs {
 		if err := s.log.AppendOwned(f, uint32(len(m.Data[i])), m.Data[i]); err != nil {
+			// A failed append on the durable path (ENOSPC, media error)
+			// flips the store read-only: the WAL tail is no longer
+			// trustworthy for further writes, but everything already
+			// acked is intact and restores keep serving. The client gets
+			// the typed refusal instead of a retry loop.
+			if s.storage != nil {
+				s.storage.Fail(err)
+				return nil, readOnlyRefusal(err)
+			}
 			return nil, err
 		}
 		batchBytes += int64(len(m.Data[i]))
 	}
 	sess.mu.Lock()
 	sess.xfer += batchBytes
+	// Record which fingerprints have their bytes safely in the log: if
+	// this client vanishes, exactly these — and no others — are reclaimed
+	// into the pending set. A fingerprint the filter marked "needed" whose
+	// chunk never arrived must NOT become pending, or the vanished
+	// client's retry would be told "don't transfer" for data the server
+	// does not have.
+	sess.logged = append(sess.logged, m.FPs...)
 	sess.mu.Unlock()
 	return proto.Ack{OK: true}, nil
 }
@@ -557,12 +723,12 @@ func (s *Server) fileMeta(m proto.FileMeta) (any, error) {
 	return proto.Ack{OK: true}, nil
 }
 
-func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
-	sess, err := s.getSession(m.SessionID)
-	if err != nil {
-		return nil, err
-	}
+// collectUndetermined drains a session's new-fingerprint state: the
+// filter's new marks plus the saturated-filter overflow, deduplicated.
+// Called on BackupEnd and when a vanished client's session is reclaimed.
+func collectUndetermined(sess *session) []fp.FP {
 	sess.mu.Lock()
+	defer sess.mu.Unlock()
 	und := sess.filter.CollectNew(false)
 	seen := make(map[fp.FP]bool, len(und))
 	for _, f := range und {
@@ -574,12 +740,39 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 			und = append(und, f)
 		}
 	}
+	sess.overflow = nil
+	return und
+}
+
+func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
+	sess, err := s.getSession(m.SessionID)
+	if err != nil {
+		return nil, err
+	}
+	und := collectUndetermined(sess)
+	sess.mu.Lock()
 	done := proto.BackupDone{
 		LogicalBytes:     sess.logical,
 		TransferredBytes: sess.xfer,
 		NewFingerprints:  sess.newFPs,
 	}
 	sess.mu.Unlock()
+
+	// Mark the run complete with the director before tearing the session
+	// down: only complete runs serve as a restore source or contribute
+	// filtering fingerprints, so an aborted backup (whose FileMeta entries
+	// may reference chunks that never arrived) is never trusted.
+	if s.cfg.DirectorAddr != "" {
+		reply, err := s.directorCall(proto.EndRun{
+			JobName: sess.jobName, RunID: sess.runID,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ack, is := reply.(proto.Ack); is && !ack.OK {
+			return nil, errors.New(ack.Err)
+		}
+	}
 
 	s.pendMu.Lock()
 	s.pending = append(s.pending, und...)
@@ -592,12 +785,28 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 	return done, nil
 }
 
+// SessionCount reports the live backup sessions (tests, monitoring).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
 func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	// One pass at a time: SIL/SIU are whole-index scans over a
 	// single-writer structure, and overlapping passes would double-drain
 	// the chunk log.
 	s.dedup2Mu.Lock()
 	defer s.dedup2Mu.Unlock()
+
+	if s.storage != nil {
+		if roErr := s.storage.ReadOnlyErr(); roErr != nil {
+			// A pass on a faulted store would append containers it cannot
+			// trust; refuse and leave the pending set untouched for a
+			// retry after the operator restarts with the fault cleared.
+			return proto.Dedup2Done{Err: readOnlyRefusal(roErr).Error()}, nil
+		}
+	}
 
 	// Quiet detection for the log truncation below: records belonging to
 	// a session that has not reached BackupEnd are in the log but their
@@ -624,7 +833,11 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		s.pendMu.Lock()
 		s.pending = append(pending, s.pending...)
 		s.pendMu.Unlock()
+		s.failOnDiskFault(err)
 		return proto.Dedup2Done{Err: err.Error()}, nil
+	}
+	if s.cfg.Dedup2StageHook != nil {
+		s.cfg.Dedup2StageHook("sil-stored")
 	}
 	s.pendMu.Lock()
 	s.unreg = append(s.unreg, unreg...)
@@ -643,7 +856,11 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 			s.pendMu.Lock()
 			s.unreg = append(toUpdate, s.unreg...)
 			s.pendMu.Unlock()
+			s.failOnDiskFault(err)
 			return proto.Dedup2Done{Err: err.Error()}, nil
+		}
+		if s.cfg.Dedup2StageHook != nil {
+			s.cfg.Dedup2StageHook("siu-done")
 		}
 	}
 	if s.storage != nil {
@@ -651,6 +868,7 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		// marker, so a restart trusts the index file instead of
 		// rebuilding it from container metadata.
 		if err := s.storage.Checkpoint(); err != nil {
+			s.failOnDiskFault(err)
 			return proto.Dedup2Done{Err: err.Error()}, nil
 		}
 	}
@@ -680,6 +898,16 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		DupChunks:  res.IndexDups + res.Store.DupChunks + res.CheckingDups,
 		Containers: res.Store.Containers,
 	}, nil
+}
+
+// failOnDiskFault flips a durable store read-only when a dedup-2 stage
+// failed because the disk is full: further appends would only dig the
+// hole deeper, while the re-queued pending work keeps every logged chunk
+// reachable for a pass after the operator intervenes.
+func (s *Server) failOnDiskFault(err error) {
+	if s.storage != nil && errors.Is(err, syscall.ENOSPC) {
+		s.storage.Fail(err)
+	}
 }
 
 func (s *Server) listFiles(m proto.ListFiles) (any, error) {
@@ -753,9 +981,16 @@ func (s *Server) streamRestore(conn *proto.Conn, jfc *jobFilesCache, m proto.Res
 	if err != nil {
 		return conn.Send(proto.Ack{OK: false, Err: err.Error()})
 	}
+	// Resume support: skip the chunks the client already holds verified
+	// on disk and stream the tail. The client re-checks that the entry is
+	// unchanged before trusting its partial file.
+	if m.StartChunk > uint64(len(e.Chunks)) {
+		return conn.Send(proto.Ack{OK: false, Err: fmt.Sprintf(
+			"server: resume offset %d beyond %d chunks of %s", m.StartChunk, len(e.Chunks), e.Path)})
+	}
 	batch := clampRestore(m.BatchChunks, s.cfg.RestoreBatchChunks, maxRestoreBatchChunks)
 	window := clampRestore(m.Window, s.cfg.RestoreWindow, maxRestoreWindow)
-	if err := conn.Send(proto.RestoreBegin{Entry: e, BatchChunks: batch, Window: window}); err != nil {
+	if err := conn.Send(proto.RestoreBegin{Entry: e, BatchChunks: batch, Window: window, StartChunk: m.StartChunk}); err != nil {
 		return err
 	}
 
@@ -818,7 +1053,7 @@ func (s *Server) streamRestore(conn *proto.Conn, jfc *jobFilesCache, m proto.Res
 		data, dataBytes = data[:0], 0
 		return nil
 	}
-	for _, f := range e.Chunks {
+	for _, f := range e.Chunks[m.StartChunk:] {
 		chunk, err := s.restorer.Chunk(f)
 		if err != nil {
 			return abort(fmt.Errorf("server: restoring %s: %w", e.Path, err))

@@ -45,6 +45,18 @@ type SegRepo struct {
 	bytes  int64 // data-section bytes stored
 	end    int64 // append offset in the active segment
 	closed bool
+
+	failFn func() error // fault injection: non-nil error fails Append
+}
+
+// SetFailFunc installs a fault-injection hook consulted before every
+// container Append: a non-nil return fails the append with that error,
+// simulating ENOSPC or media failure. nil clears the hook. Test-only;
+// reads are unaffected.
+func (r *SegRepo) SetFailFunc(fn func() error) {
+	r.mu.Lock()
+	r.failFn = fn
+	r.mu.Unlock()
 }
 
 type segment struct {
@@ -277,6 +289,11 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 	defer r.mu.Unlock()
 	if r.closed {
 		return 0, errors.New("store: repository closed")
+	}
+	if r.failFn != nil {
+		if err := r.failFn(); err != nil {
+			return 0, fmt.Errorf("store: appending container: %w", err)
+		}
 	}
 	id := r.next
 	if id > fp.MaxContainerID {

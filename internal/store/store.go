@@ -86,8 +86,46 @@ type Engine struct {
 	rebuilt bool    // index was rebuilt from container metadata
 	lock    *os.File
 
+	roMu  sync.Mutex
+	roErr error // non-nil: engine is read-only (see Fail)
+
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// Fail switches the engine into read-only mode, recording the write fault
+// that caused it (ENOSPC, media error). Reads — restores, verifies, index
+// lookups — keep working; the server refuses new writes while ReadOnlyErr
+// is non-nil. The first fault wins; the mode persists until the engine is
+// reopened with the fault cleared, because a store that just failed a
+// write cannot trust any further appends.
+func (e *Engine) Fail(err error) {
+	if err == nil {
+		return
+	}
+	e.roMu.Lock()
+	if e.roErr == nil {
+		e.roErr = err
+	}
+	e.roMu.Unlock()
+}
+
+// ReadOnlyErr returns the write fault that switched the engine read-only,
+// or nil when the engine accepts writes.
+func (e *Engine) ReadOnlyErr() error {
+	e.roMu.Lock()
+	defer e.roMu.Unlock()
+	return e.roErr
+}
+
+// InjectWriteFault installs fn as a fault-injection hook on both durable
+// write paths (chunk-log WAL appends and container appends): a non-nil
+// return fails the write with that error. nil clears the hooks. Used by
+// the chaos test suite to simulate a disk filling up; read paths are
+// never affected.
+func (e *Engine) InjectWriteFault(fn func() error) {
+	e.wal.SetFailFunc(fn)
+	e.repo.SetFailFunc(fn)
 }
 
 const (

@@ -11,12 +11,25 @@
 //
 // The tool exits non-zero when no benchmark lines were parsed, so a CI
 // bench step cannot silently produce an empty trajectory point.
+//
+// With -diff it instead compares two previously emitted documents and
+// acts as a regression gate:
+//
+//	go run ./tools/benchjson -diff -max-regress 0.15 old.json new.json
+//
+// Every benchmark present in both documents with a throughput figure is
+// compared on MB/s; a drop of more than -max-regress (a fraction, default
+// 0.15) fails the gate with exit code 1. Benchmarks that appear or vanish
+// between the two documents are reported but never fail the gate, so
+// adding or renaming a benchmark does not break CI.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -49,6 +62,26 @@ type Report struct {
 }
 
 func main() {
+	diff := flag.Bool("diff", false, "compare two benchjson documents instead of parsing bench output")
+	maxRegress := flag.Float64("max-regress", 0.15, "with -diff: maximum tolerated fractional MB/s drop before failing")
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff [-max-regress 0.15] old.json new.json")
+			os.Exit(2)
+		}
+		regressed, err := diffReports(flag.Arg(0), flag.Arg(1), *maxRegress, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep := Report{
 		Schema:    "debar-bench/v1",
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -93,6 +126,68 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads one benchjson document from disk.
+func loadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// diffReports compares the throughput of every benchmark common to the
+// documents at oldPath and newPath, writing a per-benchmark verdict line
+// to w. It reports whether any common benchmark's MB/s dropped by more
+// than maxRegress (a fraction of the old figure). Benchmarks without a
+// throughput metric, or present on only one side, are noted and skipped.
+func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regressed bool, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	prev := make(map[string]Benchmark, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		prev[b.Name] = b
+	}
+	seen := make(map[string]bool, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		seen[b.Name] = true
+		old, ok := prev[b.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "NEW      %s: %.2f MB/s (no baseline)\n", b.Name, b.MBPerS)
+		case old.MBPerS <= 0 || b.MBPerS <= 0:
+			fmt.Fprintf(w, "SKIP     %s: no throughput metric to compare\n", b.Name)
+		default:
+			change := b.MBPerS/old.MBPerS - 1
+			verdict := "OK      "
+			if change < -maxRegress {
+				verdict = "REGRESS "
+				regressed = true
+			}
+			fmt.Fprintf(w, "%s %s: %.2f → %.2f MB/s (%+.1f%%)\n",
+				verdict, b.Name, old.MBPerS, b.MBPerS, 100*change)
+		}
+	}
+	for _, b := range oldRep.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "GONE     %s: present in baseline only\n", b.Name)
+		}
+	}
+	if regressed {
+		fmt.Fprintf(w, "FAIL: throughput regression beyond %.0f%% tolerated\n", 100*maxRegress)
+	}
+	return regressed, nil
 }
 
 // parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line.

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	b, ok := parseLine("BenchmarkEndToEndBackup/mem/clients=4-4         \t       1\t248093289 ns/op\t 270.52 MB/s\t  922645 B/op\t    9311 allocs/op")
@@ -33,5 +39,78 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Fatalf("accepted %q", bad)
 		}
+	}
+}
+
+// writeReport marshals a report of (name, MB/s) pairs into dir.
+func writeReport(t *testing.T, dir, file string, mbps map[string]float64) string {
+	t.Helper()
+	rep := Report{Schema: "debar-bench/v1"}
+	for name, v := range mbps {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{Name: name, Iterations: 1, MBPerS: v})
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffReports(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{
+		"BenchmarkBackup":  200,
+		"BenchmarkRestore": 100,
+		"BenchmarkGone":    50,
+		"BenchmarkNoMBs":   0,
+	})
+
+	// Within tolerance (-10% on one, +5% on the other): gate passes, and
+	// new/vanished/metric-less benchmarks never fail it.
+	newPath := writeReport(t, dir, "new.json", map[string]float64{
+		"BenchmarkBackup":  180,
+		"BenchmarkRestore": 105,
+		"BenchmarkNoMBs":   0,
+		"BenchmarkFresh":   300,
+	})
+	var out strings.Builder
+	regressed, err := diffReports(oldPath, newPath, 0.15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("within-tolerance diff regressed:\n%s", out.String())
+	}
+	for _, want := range []string{"NEW", "GONE", "SKIP", "OK"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("verdict %q missing from:\n%s", want, out.String())
+		}
+	}
+
+	// A 30% drop beyond the 15% tolerance fails the gate.
+	slowPath := writeReport(t, dir, "slow.json", map[string]float64{
+		"BenchmarkBackup": 140,
+	})
+	out.Reset()
+	regressed, err = diffReports(oldPath, slowPath, 0.15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(out.String(), "REGRESS") {
+		t.Fatalf("30%% drop not flagged:\n%s", out.String())
+	}
+
+	// Unreadable and malformed inputs are reported as errors, not verdicts.
+	if _, err := diffReports(filepath.Join(dir, "missing.json"), newPath, 0.15, &out); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o644)
+	if _, err := diffReports(bad, newPath, 0.15, &out); err == nil {
+		t.Fatal("malformed baseline accepted")
 	}
 }
