@@ -45,10 +45,24 @@ type Log struct {
 	// torn-tail recovery. See wal.go.
 	crc       bool
 	end       int64 // append offset (WAL mode)
-	dirty     int   // bytes appended since the last fsync
+	dirty     int   // bytes appended since the last completed fsync
 	syncBytes int   // fsync batching threshold (<0 disables fsync)
+	extSync   bool  // sync scheduling owned by an external group committer
 
-	failFn func() error // fault injection: non-nil error fails the append
+	// prealloc extends the file's allocation ahead of the append cursor
+	// in steps of this many bytes (0 disables), so in-step appends leave
+	// the inode size unchanged and a data-only sync skips the metadata
+	// journal. preallocTo is the extent already allocated.
+	prealloc   int64
+	preallocTo int64
+
+	// syncMu serialises Sync callers so the fsync itself runs outside mu
+	// — appends proceed while the disk flushes — without two syncers
+	// double-subtracting the same dirty bytes.
+	syncMu sync.Mutex
+
+	failFn     func() error // fault injection: non-nil error fails the append
+	syncFailFn func() error // fault injection: non-nil error fails Sync
 }
 
 // SetFailFunc installs a fault-injection hook consulted before every
@@ -58,6 +72,37 @@ type Log struct {
 func (l *Log) SetFailFunc(fn func() error) {
 	l.mu.Lock()
 	l.failFn = fn
+	l.mu.Unlock()
+}
+
+// SetSyncFailFunc installs a fault-injection hook consulted by Sync
+// before the fsync is issued: a non-nil return fails the Sync with that
+// error, simulating a media failure at the sync layer. A failed Sync
+// must leave the dirty counter intact — the unflushed tail still needs
+// syncing — which is exactly the invariant the regression tests drive
+// through this hook. nil clears it. Test-only.
+func (l *Log) SetSyncFailFunc(fn func() error) {
+	l.mu.Lock()
+	l.syncFailFn = fn
+	l.mu.Unlock()
+}
+
+// SetExternalSync marks the log's sync scheduling as owned by an
+// external group-commit scheduler (store.Committer): the inline
+// threshold fsync in the append path is skipped — the scheduler calls
+// Sync from its flusher instead, outside the append lock — while Reset
+// and Close keep their durability syncs. Call before the first append.
+func (l *Log) SetExternalSync() {
+	l.mu.Lock()
+	l.extSync = true
+	l.mu.Unlock()
+}
+
+// SetPrealloc sets the allocation step the WAL keeps ahead of its append
+// cursor (0 disables). Call before the first append.
+func (l *Log) SetPrealloc(step int64) {
+	l.mu.Lock()
+	l.prealloc = step
 	l.mu.Unlock()
 }
 
@@ -236,6 +281,7 @@ func (l *Log) Reset() error {
 	l.bytes = 0
 	l.end = 0
 	l.dirty = 0
+	l.preallocTo = 0
 	if l.file != nil {
 		if err := l.file.Truncate(0); err != nil {
 			return fmt.Errorf("chunklog: reset: %w", err)
@@ -243,7 +289,7 @@ func (l *Log) Reset() error {
 		if _, err := l.file.Seek(0, io.SeekStart); err != nil {
 			return fmt.Errorf("chunklog: reset: %w", err)
 		}
-		if l.crc && l.syncBytes > 0 {
+		if l.crc && (l.syncBytes > 0 || l.extSync) {
 			if err := l.file.Sync(); err != nil {
 				return fmt.Errorf("chunklog: reset sync: %w", err)
 			}
@@ -255,7 +301,7 @@ func (l *Log) Reset() error {
 // Close flushes batched appends and releases the backing file, if any.
 func (l *Log) Close() error {
 	if l.file != nil {
-		if l.crc && l.syncBytes > 0 {
+		if l.crc && (l.syncBytes > 0 || l.extSync) {
 			l.mu.Lock()
 			err := l.syncLocked()
 			l.mu.Unlock()

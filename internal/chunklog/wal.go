@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"debar/internal/fp"
+	"debar/internal/fsx"
 )
 
 // WAL mode turns the chunk log into a durable write-ahead log: every
@@ -25,13 +26,14 @@ import (
 // start of the file and truncates at the first record whose header is
 // short, whose declared size is implausible, or whose checksum mismatches:
 // everything before that point is a complete prefix of the appended
-// stream. Note the durability window: appends are fsynced in batches and
-// the server acknowledges a chunk batch before the batch is necessarily
-// synced, so a power failure can drop up to syncBytes of acknowledged
-// records — a deliberate throughput trade recorded in
-// internal/store/README.md ("Consistency model"). The recovered prefix is
-// always a consistent replay point; lost chunks re-enter on the client's
-// next backup run.
+// stream (a preallocated-but-unwritten tail reads as zeros and fails the
+// scan the same way a torn record does). Durability is scheduled one of
+// two ways: standalone, appends fsync inline every syncBytes; under the
+// engine's group committer (SetExternalSync) the scheduler calls Sync
+// from its flusher and the backup server holds each ChunkBatch verdict
+// until the covering sync lands, so an acknowledged chunk is always
+// recoverable — see internal/store/README.md ("Consistency model"). The
+// recovered prefix is always a consistent replay point.
 
 // walHeader is the serialised record header: checksum + fingerprint + size.
 const walHeader = 4 + fp.Size + 4
@@ -108,6 +110,10 @@ func (l *Log) recoverWAL() ([]fp.FP, error) {
 		off += walHeader + size
 	}
 	if off < fileSize {
+		// Truncating covers both a torn tail and a preallocated-but-
+		// unwritten one (zeros fail the checksum scan the same way); the
+		// shrink also guarantees the dropped range reads as zeros if it
+		// is later re-extended by preallocation.
 		if err := l.file.Truncate(off); err != nil {
 			return nil, fmt.Errorf("chunklog: wal truncating torn tail: %w", err)
 		}
@@ -116,23 +122,36 @@ func (l *Log) recoverWAL() ([]fp.FP, error) {
 		}
 	}
 	l.end = off
+	l.preallocTo = off
 	return fps, nil
 }
 
 // appendWAL writes one checksummed record at the end of the WAL and
-// applies the fsync batching policy.
+// applies the fsync batching policy (unless an external group committer
+// owns sync scheduling).
 func (l *Log) appendWAL(f fp.FP, size uint32, data []byte) error {
 	rec := make([]byte, walHeader+len(data))
 	copy(rec[4:], f[:])
 	binary.BigEndian.PutUint32(rec[4+fp.Size:], size)
 	copy(rec[walHeader:], data)
 	binary.BigEndian.PutUint32(rec[:4], crc32.Checksum(rec[4:], castagnoli))
+	if l.prealloc > 0 && l.end+int64(len(rec)) > l.preallocTo {
+		// Keep the allocation ahead of the cursor so the writes below
+		// (and data-only syncs covering them) never grow the inode.
+		to := l.end + int64(len(rec))
+		to += l.prealloc - 1
+		to -= to % l.prealloc
+		if err := fsx.Preallocate(l.file, to); err != nil {
+			return fmt.Errorf("chunklog: wal preallocate: %w", err)
+		}
+		l.preallocTo = to
+	}
 	if _, err := l.file.WriteAt(rec, l.end); err != nil {
 		return fmt.Errorf("chunklog: wal append: %w", err)
 	}
 	l.end += int64(len(rec))
 	l.dirty += len(rec)
-	if l.syncBytes > 0 && l.dirty >= l.syncBytes {
+	if !l.extSync && l.syncBytes > 0 && l.dirty >= l.syncBytes {
 		return l.syncLocked()
 	}
 	return nil
@@ -184,18 +203,58 @@ func (l *Log) countWAL() (int64, error) {
 	return n, nil
 }
 
-// Sync flushes batched appends to stable storage.
+// Sync flushes batched appends to stable storage. The fsync runs
+// *outside* the append lock: it snapshots the dirty count, syncs, and
+// subtracts only what it observed, so appends from concurrent sessions
+// proceed while the disk flushes and bytes appended mid-sync stay dirty
+// for the next one. A failed sync subtracts nothing — the unflushed
+// tail remains dirty and a later Sync retries it (a reset counter here
+// would let a later Sync or Close silently skip the tail). Concurrent
+// Sync callers are serialised by syncMu.
 func (l *Log) Sync() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.syncLocked()
+	dirty := l.dirty
+	file := l.file
+	failFn := l.syncFailFn
+	l.mu.Unlock()
+	if file == nil || dirty == 0 {
+		return nil
+	}
+	if failFn != nil {
+		if err := failFn(); err != nil {
+			return fmt.Errorf("chunklog: sync: %w", err)
+		}
+	}
+	if err := fsx.SyncData(file); err != nil {
+		return fmt.Errorf("chunklog: sync: %w", err)
+	}
+	l.mu.Lock()
+	// Clamp rather than subtract blindly: a concurrent Reset may have
+	// zeroed the counter while the fsync was in flight.
+	if l.dirty >= dirty {
+		l.dirty -= dirty
+	} else {
+		l.dirty = 0
+	}
+	l.mu.Unlock()
+	return nil
 }
 
+// syncLocked is the under-mu fsync used by the inline batching threshold
+// and Close. It shares Sync's failure invariant: the dirty counter is
+// reset only after a successful fsync.
 func (l *Log) syncLocked() error {
 	if l.file == nil || l.dirty == 0 {
 		return nil
 	}
-	if err := l.file.Sync(); err != nil {
+	if l.syncFailFn != nil {
+		if err := l.syncFailFn(); err != nil {
+			return fmt.Errorf("chunklog: sync: %w", err)
+		}
+	}
+	if err := fsx.SyncData(l.file); err != nil {
 		return fmt.Errorf("chunklog: sync: %w", err)
 	}
 	l.dirty = 0

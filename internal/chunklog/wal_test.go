@@ -1,6 +1,7 @@
 package chunklog
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -156,6 +157,135 @@ func TestWALCorruptMiddleTruncates(t *testing.T) {
 	// Recovery keeps the valid prefix: records 0 and 1.
 	if len(fps) != 2 {
 		t.Fatalf("recovered %d fps after mid-log corruption, want 2", len(fps))
+	}
+}
+
+// TestWALSyncFailureKeepsDirty is the regression test for the failed-
+// fsync bug: a Sync that errors must leave the dirty counter intact so
+// a later Sync retries the unflushed tail. A counter reset on the error
+// path let a subsequent Sync (or Close) return success while appended
+// records had never reached the disk.
+func TestWALSyncFailureKeepsDirty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chunklog.wal")
+	l, _, err := OpenWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetExternalSync() // caller-scheduled syncs, as under the group committer
+
+	const n = 3
+	for i := 0; i < n; i++ {
+		f, data := walRecord(i)
+		if err := l.Append(f, uint32(len(data)), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	injected := errors.New("injected media failure")
+	failing := true
+	l.SetSyncFailFunc(func() error {
+		if failing {
+			return injected
+		}
+		return nil
+	})
+
+	if err := l.Sync(); !errors.Is(err, injected) {
+		t.Fatalf("Sync with failing media = %v, want injected error", err)
+	}
+	// The tail must still be dirty: a retry reaches the sync layer again
+	// rather than short-circuiting on a zeroed counter.
+	if err := l.Sync(); !errors.Is(err, injected) {
+		t.Fatalf("retry after failed Sync = %v, want injected error (dirty counter was reset)", err)
+	}
+
+	failing = false
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync after media recovers: %v", err)
+	}
+	// Now the counter is drained: another Sync is a no-op and never
+	// consults the (re-armed) failure hook.
+	failing = true
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync with nothing dirty = %v, want nil no-op", err)
+	}
+
+	l.SetSyncFailFunc(nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, fps, err := OpenWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != n {
+		t.Fatalf("recovered %d fps, want %d", len(fps), n)
+	}
+}
+
+// TestWALPreallocRecovery: with preallocation the file extends ahead of
+// the append cursor, so a crash (or plain Close) leaves a zero-filled
+// tail. Recovery must accept exactly the appended records — the zero
+// tail fails the checksum scan like a torn record — and appending must
+// resume cleanly afterwards.
+func TestWALPreallocRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chunklog.wal")
+	l, _, err := OpenWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = int64(4096)
+	l.SetPrealloc(step)
+	const n = 6
+	for i := 0; i < n; i++ {
+		f, data := walRecord(i)
+		if err := l.Append(f, uint32(len(data)), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The on-disk file is larger than the logical log: the preallocated
+	// tail is still attached, exactly the shape a crash leaves behind.
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size()%step != 0 || st.Size() == 0 {
+		t.Fatalf("file size %d not a preallocation multiple of %d", st.Size(), step)
+	}
+
+	l2, fps, err := OpenWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != n {
+		t.Fatalf("recovered %d fps under a preallocated tail, want %d", len(fps), n)
+	}
+	for i, f := range fps {
+		want, _ := walRecord(i)
+		if f != want {
+			t.Fatalf("recovered fp %d mismatch", i)
+		}
+	}
+	// Recovery truncated the zero tail, so appends restart from the
+	// logical end (and re-extend the allocation as they go).
+	l2.SetPrealloc(step)
+	f, data := walRecord(99)
+	if err := l2.Append(f, uint32(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, fps, err = OpenWAL(path, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fps) != n+1 || fps[n] != f {
+		t.Fatalf("post-recovery append lost (got %d fps)", len(fps))
 	}
 }
 

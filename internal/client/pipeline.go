@@ -66,11 +66,18 @@ const (
 )
 
 // request pairs an outgoing message with the handler for its reply.
-// Because the server processes one connection's messages in order and
-// replies in order, handler invocation order equals send order.
+// The server processes one connection's messages in order, but its
+// replies are not strictly FIFO: seq-tagged FPVerdicts may overtake a
+// ChunkBatch ack parked on a group-commit fsync, which is what keeps
+// verdicts — and therefore chunk transfers — flowing while a durable
+// server's window syncs. The receive goroutine therefore matches
+// FPVerdicts to their request by sequence number and every other reply
+// type in send order among themselves.
 type request struct {
-	msg     any
-	onReply func(any) error
+	msg        any
+	onReply    func(any) error
+	verdictSeq uint64 // when isVerdict: the FPBatch seq the reply echoes
+	isVerdict  bool   // reply is FPVerdicts, matched by verdictSeq
 }
 
 // fpBatch is one accumulating (then in-flight) fingerprint batch.
@@ -106,7 +113,7 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 	hashCh := make(chan *item, workers*2)
 	resultCh := make(chan *item, workers*2+16)
 	sendCh := make(chan request, window)
-	expectCh := make(chan func(any) error, window)
+	expectCh := make(chan request, window)
 	slots := make(chan struct{}, window)
 	for i := 0; i < window; i++ {
 		slots <- struct{}{}
@@ -212,8 +219,7 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 	}()
 
 	// Send goroutine: the single writer on conn. After each send it
-	// registers the reply handler, keeping the expectation FIFO in wire
-	// order.
+	// registers the reply expectation, in wire order.
 	go func() {
 		defer close(expectCh)
 		for {
@@ -232,23 +238,72 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 				return
 			}
 			select {
-			case expectCh <- req.onReply:
+			case expectCh <- req:
 			case <-cancel:
 				return
 			}
 		}
 	}()
 
-	// Recv goroutine: the single reader on conn, pairing each reply with
-	// the next expected handler.
+	// Recv goroutine: the single reader on conn. Verdicts are matched to
+	// their expectation by sequence number, every other reply to the
+	// oldest non-verdict expectation — the two orders the server
+	// guarantees (see the request comment).
 	recvDone := make(chan struct{})
 	go func() {
 		defer close(recvDone)
-		for h := range expectCh {
+		verdicts := map[uint64]func(any) error{}
+		var ackQ []func(any) error
+		// pull files the next registered expectation; false once the
+		// send goroutine has closed expectCh and all are filed.
+		pull := func() bool {
+			req, ok := <-expectCh
+			if !ok {
+				return false
+			}
+			if req.isVerdict {
+				verdicts[req.verdictSeq] = req.onReply
+			} else {
+				ackQ = append(ackQ, req.onReply)
+			}
+			return true
+		}
+		for {
+			if len(verdicts) == 0 && len(ackQ) == 0 {
+				if !pull() {
+					return // every expected reply has been handled
+				}
+			}
 			msg, err := conn.Recv()
 			if err != nil {
 				fail(err)
 				return
+			}
+			var h func(any) error
+			if v, ok := msg.(proto.FPVerdicts); ok {
+				for {
+					if hh, ok := verdicts[v.Seq]; ok {
+						delete(verdicts, v.Seq)
+						h = hh
+						break
+					}
+					// A reply can only precede its expectation by the
+					// gap between conn.Send returning and the register;
+					// the expectation is already on its way.
+					if !pull() {
+						fail(fmt.Errorf("client: verdicts for unknown batch %d", v.Seq))
+						return
+					}
+				}
+			} else {
+				for len(ackQ) == 0 {
+					if !pull() {
+						fail(fmt.Errorf("client: unexpected reply %T", msg))
+						return
+					}
+				}
+				h = ackQ[0]
+				ackQ = ackQ[1:]
 			}
 			if err := h(msg); err != nil {
 				fail(err)
@@ -315,7 +370,9 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 			return false
 		}
 		req := request{
-			msg: proto.FPBatch{SessionID: sess, Seq: b.seq, FPs: b.fps, Sizes: b.sizes},
+			msg:        proto.FPBatch{SessionID: sess, Seq: b.seq, FPs: b.fps, Sizes: b.sizes},
+			isVerdict:  true,
+			verdictSeq: b.seq,
 			onReply: func(msg any) error {
 				v, ok := msg.(proto.FPVerdicts)
 				if !ok {

@@ -38,8 +38,8 @@ type Plan struct {
 	// FINs) once that many bytes have been forwarded that way.
 	CutC2S, CutS2C int64
 	// StallC2S / StallS2C stop forwarding after that many bytes but keep
-	// both sockets open — a half-open link. Only proxy Close (or the
-	// peers closing) releases the connection.
+	// both sockets open — a half-open link. Proxy Close or CutAll
+	// releases the connection.
 	StallC2S, StallS2C int64
 	// Latency delays every forwarded read by a fixed duration; Jitter
 	// adds a uniform random [0, Jitter) on top.
@@ -67,6 +67,8 @@ type Proxy struct {
 	plan     Plan
 	accepted int
 	conns    map[net.Conn]struct{}
+	severs   map[int64]func() // per-connection closeBoth, for CutAll/Close
+	severSeq int64
 	closed   bool
 	release  chan struct{} // closed on Close: unblocks stalled pipes
 
@@ -84,6 +86,7 @@ func New(upstream string) (*Proxy, error) {
 		upstream: upstream,
 		ln:       ln,
 		conns:    make(map[net.Conn]struct{}),
+		severs:   make(map[int64]func()),
 		release:  make(chan struct{}),
 	}
 	p.wg.Add(1)
@@ -113,12 +116,21 @@ func (p *Proxy) Accepted() int {
 
 // CutAll immediately severs every live proxied connection (the listener
 // keeps accepting). Simulates a network partition killing in-flight
-// transfers.
+// transfers. Each connection's teardown closes its down channel, so
+// pipes parked in a stall (which no socket close can unblock) exit too
+// instead of leaking until proxy Close.
 func (p *Proxy) CutAll() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	severs := make([]func(), 0, len(p.severs))
+	for _, sever := range p.severs {
+		severs = append(severs, sever)
+	}
 	for c := range p.conns {
 		c.Close()
+	}
+	p.mu.Unlock()
+	for _, sever := range severs {
+		sever()
 	}
 }
 
@@ -173,6 +185,22 @@ func (p *Proxy) forget(c net.Conn) {
 	p.mu.Unlock()
 }
 
+// addSever registers a connection pair's teardown for CutAll; the
+// returned id unregisters it when the pair's serve goroutine exits.
+func (p *Proxy) addSever(sever func()) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.severSeq++
+	p.severs[p.severSeq] = sever
+	return p.severSeq
+}
+
+func (p *Proxy) dropSever(id int64) {
+	p.mu.Lock()
+	delete(p.severs, id)
+	p.mu.Unlock()
+}
+
 func (p *Proxy) serve(client net.Conn, plan Plan) {
 	defer p.wg.Done()
 	defer p.forget(client)
@@ -194,25 +222,32 @@ func (p *Proxy) serve(client net.Conn, plan Plan) {
 	defer up.Close()
 
 	// closeBoth severs the connection from either direction's pipe; the
-	// other direction's blocked Read then fails and its pipe exits.
+	// other direction's blocked Read then fails and its pipe exits. It
+	// also closes down, the only signal that reaches a pipe parked in a
+	// half-open stall (a socket close cannot unblock it — it is not in a
+	// Read).
+	down := make(chan struct{})
 	var once sync.Once
 	closeBoth := func() {
 		once.Do(func() {
+			close(down)
 			client.Close()
 			up.Close()
 		})
 	}
+	id := p.addSever(closeBoth)
+	defer p.dropSever(id)
 
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
-		p.pipe(up, client, plan.CutC2S, plan.StallC2S, plan, closeBoth)
+		p.pipe(up, client, plan.CutC2S, plan.StallC2S, plan, closeBoth, down)
 	}()
-	p.pipe(client, up, plan.CutS2C, plan.StallS2C, plan, closeBoth)
+	p.pipe(client, up, plan.CutS2C, plan.StallS2C, plan, closeBoth, down)
 }
 
 // pipe forwards src→dst applying the plan's faults for this direction.
-func (p *Proxy) pipe(dst, src net.Conn, cutAfter, stallAfter int64, plan Plan, closeBoth func()) {
+func (p *Proxy) pipe(dst, src net.Conn, cutAfter, stallAfter int64, plan Plan, closeBoth func(), down <-chan struct{}) {
 	buf := make([]byte, 32<<10)
 	var forwarded int64
 	for {
@@ -235,6 +270,8 @@ func (p *Proxy) pipe(dst, src net.Conn, cutAfter, stallAfter int64, plan Plan, c
 				case <-p.release:
 					closeBoth()
 					return
+				case <-down:
+					return
 				}
 			}
 			if _, werr := dst.Write(buf[:n]); werr != nil {
@@ -247,9 +284,13 @@ func (p *Proxy) pipe(dst, src net.Conn, cutAfter, stallAfter int64, plan Plan, c
 				return
 			}
 			if stallAfter > 0 && forwarded >= stallAfter {
-				// Half-open: stop forwarding, keep both sockets open.
-				// Only proxy Close releases the connection.
-				<-p.release
+				// Half-open: stop forwarding, keep both sockets open
+				// until proxy Close, CutAll, or the opposite pipe
+				// tearing the pair down releases the stall.
+				select {
+				case <-p.release:
+				case <-down:
+				}
 				closeBoth()
 				return
 			}

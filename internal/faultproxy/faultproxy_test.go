@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -168,6 +169,49 @@ func TestFaultProxyBandwidthCap(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed < 250*time.Millisecond {
 		t.Fatalf("32KiB round-trip took %v under a 64KiB/s cap; pacing not applied", elapsed)
+	}
+}
+
+// TestFaultProxyCutAllReleasesStalledPipes is the regression test for a
+// goroutine leak: a pipe parked in a half-open stall waited only on the
+// proxy-wide release channel, so CutAll (which just closed the sockets)
+// left it blocked until proxy Close. CutAll must tear the pair down and
+// return the forwarding goroutines to baseline.
+func TestFaultProxyCutAllReleasesStalledPipes(t *testing.T) {
+	px, err := New(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	base := runtime.NumGoroutine()
+	px.SetPlan(Plan{StallC2S: 1})
+
+	c := dialProxy(t, px)
+	if _, err := c.Write(make([]byte, 1<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// One byte echoes back, proving the C2S pipe forwarded its quota and
+	// is now parked in the stall.
+	if _, err := io.ReadFull(c, make([]byte, 1)); err != nil {
+		t.Fatalf("reading pre-stall byte: %v", err)
+	}
+
+	px.CutAll()
+
+	// The client must observe the severed connection (not a silent stall).
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil || errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("post-CutAll read = %v, want connection error", err)
+	}
+
+	// Both pipes (and the echo server's copier) must exit without Close.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after CutAll: %d, want <= %d (stalled pipe leaked)",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,15 @@
+//go:build linux
+
+package fsx
+
+import (
+	"os"
+	"syscall"
+)
+
+func syncData(f *os.File) error {
+	if err := syscall.Fdatasync(int(f.Fd())); err != nil {
+		return &os.PathError{Op: "fdatasync", Path: f.Name(), Err: err}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package fsx
+
+import "os"
+
+func syncData(f *os.File) error { return f.Sync() }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -8,7 +9,103 @@ import (
 	"debar/internal/fp"
 	"debar/internal/proto"
 	"debar/internal/server"
+	"debar/internal/store"
 )
+
+// TestChunkBatchAckHeldForWALSync is the durability-ack ordering
+// regression test: the ChunkBatch verdict must be held until the
+// session's group-commit window has fsynced. With the sync layer
+// failing, a positive ack would promise durability the disk never
+// delivered — the client must see a read-only refusal instead, and the
+// store must latch read-only for subsequent sessions.
+func TestChunkBatchAckHeldForWALSync(t *testing.T) {
+	dir := director.New()
+	dirAddr, err := dir.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dir.Close() })
+
+	eng, err := store.Open(t.TempDir(), store.Options{IndexBits: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.GroupCommit() {
+		t.Fatal("engine did not enable group commit by default")
+	}
+	injected := errors.New("injected media failure")
+	eng.ChunkLog().SetSyncFailFunc(func() error { return injected })
+	t.Cleanup(func() { eng.ChunkLog().SetSyncFailFunc(nil) })
+
+	srv, err := server.New(server.Config{DirectorAddr: dirAddr, Storage: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	srvAddr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.BackupStart{JobName: "sync-fail-job", Client: "c1"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, is := msg.(proto.BackupStartOK)
+	if !is {
+		t.Fatalf("BackupStart reply = %T %+v", msg, msg)
+	}
+
+	chunk := []byte("chunk whose ack must wait for the covering fsync")
+	f := fp.New(chunk)
+	if err := conn.Send(proto.FPBatch{
+		SessionID: ok.SessionID, Seq: 0, FPs: []fp.FP{f}, Sizes: []uint32{uint32(len(chunk))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Need) != 1 || !v.Need[0] {
+		t.Fatalf("FPBatch reply = %T %+v, want need=[true]", msg, msg)
+	}
+
+	if err := conn.Send(proto.ChunkBatch{
+		SessionID: ok.SessionID, FPs: []fp.FP{f}, Data: [][]byte{chunk},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	} else if ack, is := msg.(proto.Ack); !is || ack.OK {
+		t.Fatalf("ChunkBatch over a failing sync layer = %T %+v, want refused Ack", msg, msg)
+	} else if ack.Code != proto.CodeReadOnly {
+		t.Fatalf("refusal code = %v, want %v", ack.Code, proto.CodeReadOnly)
+	}
+
+	// The failed durability sync latches the store read-only: a fresh
+	// session must be refused up front.
+	c2, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Send(proto.BackupStart{JobName: "after-fail", Client: "c2"}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = c2.Recv(); err != nil {
+		t.Fatal(err)
+	} else if ack, is := msg.(proto.Ack); !is || ack.OK || ack.Code != proto.CodeReadOnly {
+		t.Fatalf("BackupStart after failed sync = %T %+v, want read-only refusal", msg, msg)
+	}
+}
 
 // TestIdleSessionReaped is the reaper regression test: a client opens a
 // backup session, ships one chunk, and vanishes without closing the

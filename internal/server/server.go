@@ -50,6 +50,17 @@ type Config struct {
 	// single-pass dedup-2.
 	SILWorkers int
 
+	// CommitMaxBytes, CommitHold and PreallocBytes tune the durable write
+	// path of a DataDir-opened store engine: the cross-session
+	// group-commit window size and hold latency, and the allocation step
+	// kept ahead of the WAL/segment append cursors (see store.Options).
+	// Zero selects the store defaults, negative disables, matching the
+	// knob convention everywhere else. Ignored when Storage is supplied
+	// directly (the engine's creator chose its options).
+	CommitMaxBytes int64
+	CommitHold     time.Duration
+	PreallocBytes  int64
+
 	// Storage wires the server onto a durable store engine: container
 	// repository, disk index and chunk-log WAL all come from the engine,
 	// and the server takes ownership (Close closes it). Nil keeps the
@@ -222,6 +233,17 @@ type Server struct {
 	pending []fp.FP // undetermined fingerprints awaiting dedup-2
 	unreg   []fp.Entry
 
+	// loggedMu guards loggedFP: every fingerprint whose chunk bytes have
+	// landed in the chunk log since its last truncation, across all
+	// sessions. Dedup-1 consults it so concurrent sessions racing the
+	// same content (the per-session preliminary filters cannot see each
+	// other) neither transfer nor re-log a chunk the log already holds —
+	// on the durable path that directly shrinks the bytes every
+	// group-commit fsync must push out. loggedMu is innermost: it is
+	// never held while acquiring another lock.
+	loggedMu sync.Mutex
+	loggedFP map[fp.FP]struct{}
+
 	// dedup2Mu serialises dedup-2 passes: SIU is a whole-index
 	// read-modify-write and overlapping passes would double-drain the
 	// chunk log. Within one pass, SIL and chunk storing shard across
@@ -246,8 +268,11 @@ func New(cfg Config) (*Server, error) {
 	if eng == nil && cfg.DataDir != "" {
 		var err error
 		eng, err = store.Open(cfg.DataDir, store.Options{
-			IndexBits:   cfg.IndexBits,
-			IndexBlocks: cfg.IndexBlocks,
+			IndexBits:      cfg.IndexBits,
+			IndexBlocks:    cfg.IndexBlocks,
+			CommitMaxBytes: cfg.CommitMaxBytes,
+			CommitHold:     cfg.CommitHold,
+			PreallocBytes:  cfg.PreallocBytes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: opening data dir: %w", err)
@@ -280,6 +305,12 @@ func New(cfg Config) (*Server, error) {
 	cs := tpds.NewChunkStore(ix, repo, false, true)
 	cs.ContainerSize = cfg.ContainerSize
 	cs.Workers = cfg.SILWorkers
+	// Seed the logged-fingerprint set from the WAL replay: chunks already
+	// in the log need no second copy from any session.
+	loggedFP := make(map[fp.FP]struct{}, len(pending))
+	for _, f := range pending {
+		loggedFP[f] = struct{}{}
+	}
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
@@ -288,6 +319,7 @@ func New(cfg Config) (*Server, error) {
 		chunk:    cs,
 		restorer: tpds.NewRestorer(ix, repo, 16),
 		pending:  pending,
+		loggedFP: loggedFP,
 		storage:  eng,
 	}, nil
 }
@@ -448,40 +480,243 @@ type connState struct {
 	sess []uint64
 }
 
+// ackFromErr converts a dispatch error into the wire Ack, preserving a
+// typed in-band error's code.
+func ackFromErr(err error) proto.Ack {
+	ack := proto.Ack{OK: false, Err: err.Error()}
+	var re *proto.RemoteError
+	if errors.As(err, &re) {
+		ack.Code, ack.Err = re.Code, re.Msg
+	}
+	return ack
+}
+
+// deferredReply is a dispatch result whose value is not ready at
+// dispatch time: a ChunkBatch ack parked on its group-commit window's
+// fsync. The writer goroutine parks it and resolves parked acks in
+// arrival order as their syncs land; done (closed when resolve will not
+// block) is what the writer selects on to wake for a completed sync.
+type deferredReply struct {
+	done    <-chan struct{}
+	resolve func() any
+}
+
+// pendingReply is one entry in a connection's reply stream: an
+// immediate message, a deferred ack, or (both nil) a pure flush barrier
+// whose sent marker tells the handler every earlier reply is on the
+// wire. The stream is FIFO with one exception: seq-tagged FPVerdicts
+// may overtake parked deferred acks (the client matches verdicts by
+// sequence number), so one window's fsync never stalls the verdicts —
+// and therefore the chunk flow — of the batches behind it.
+type pendingReply struct {
+	msg     any
+	resolve func() any
+	done    <-chan struct{} // paired with resolve
+	sent    chan struct{}   // non-nil: closed once this entry was processed
+}
+
+// maxParkedAcks bounds deferred acks parked per connection: a client
+// shipping batches without awaiting acks (well-behaved pipelines keep a
+// handful in flight) blocks the writer on the oldest sync instead of
+// parking unbounded state.
+const maxParkedAcks = 64
+
+// resolvedChan backs head() for parked entries without a done channel.
+var resolvedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// head returns the oldest parked ack's sync-completion channel (an
+// already-closed one when it has none, so a select fires immediately).
+func head(parked []pendingReply) <-chan struct{} {
+	if parked[0].done != nil {
+		return parked[0].done
+	}
+	return resolvedChan
+}
+
+// Per-connection pipeline depths. frameQueueDepth bounds decode-ahead —
+// each staged ChunkBatch frame owns its receive buffer, so this bounds
+// per-connection memory, and one frame of lookahead is what overlaps
+// decode with the filter/WAL work. replyQueueDepth bounds verdicts
+// parked on unsynced group-commit windows; client pipelines run a
+// handful of batches in flight, so 16 never backpressures them.
+const (
+	frameQueueDepth = 2
+	replyQueueDepth = 16
+)
+
+// handle runs one connection as a three-stage pipeline: a reader
+// goroutine decodes frame N+1 off the wire while this goroutine
+// dispatches frame N (the handler used to be strictly serial — decode,
+// dispatch, reply, repeat — which left the connection idle during every
+// filter pass and fsync wait), and a writer goroutine sends replies,
+// parking deferred durability verdicts until their group-commit window
+// syncs while seq-tagged FPVerdicts overtake them — so one fsync stalls
+// neither the dispatch of the next batch nor the verdicts that let the
+// client keep shipping chunks into the next window.
 func (s *Server) handle(conn *proto.Conn) {
 	defer s.untrack(conn)
-	defer conn.Close()
 	st := &connState{}
 	// The reaper: however this handler exits — peer hung up, link cut,
 	// idle deadline expired, server closing — sessions that never reached
 	// BackupEnd are reclaimed so their fingerprints survive to dedup-2.
 	defer s.reclaimSessions(st)
-	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			return
+
+	frames := make(chan any, frameQueueDepth)
+	go func() {
+		defer close(frames)
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			frames <- msg
 		}
+	}()
+	// Exit path (runs before the reclaim above): close the conn first —
+	// failing a Recv the reader is blocked in — then drain frames so a
+	// reader stuck sending a decoded frame can finish and exit.
+	defer func() {
+		conn.Close()
+		for range frames {
+		}
+	}()
+
+	replies := make(chan pendingReply, replyQueueDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dead := false
+		send := func(msg any) {
+			if !dead && msg != nil {
+				if err := conn.Send(msg); err != nil {
+					// Keep draining so queued resolves and flush markers
+					// still run; closing the conn unwinds the reader.
+					dead = true
+					conn.Close()
+				}
+			}
+		}
+		// parked holds deferred acks whose group-commit windows are
+		// still syncing, in arrival order. Resolve even when the conn is
+		// dead: the durability verdict's side effects (read-only
+		// latching on a failed sync) must not be skipped.
+		var parked []pendingReply
+		resolveOldest := func() {
+			pr := parked[0]
+			parked = parked[1:]
+			send(pr.resolve())
+			if pr.sent != nil {
+				close(pr.sent)
+			}
+		}
+		drainReady := func() {
+			for len(parked) > 0 {
+				if pr := parked[0]; pr.done != nil {
+					select {
+					case <-pr.done:
+					default:
+						return
+					}
+				}
+				resolveOldest()
+			}
+		}
+		handleOne := func(pr pendingReply) {
+			switch {
+			case pr.resolve != nil:
+				parked = append(parked, pr)
+				for len(parked) > maxParkedAcks {
+					resolveOldest()
+				}
+			case pr.msg == nil:
+				// Flush barrier: every earlier reply must be on the
+				// wire before the marker closes.
+				for len(parked) > 0 {
+					resolveOldest()
+				}
+				if pr.sent != nil {
+					close(pr.sent)
+				}
+			default:
+				if _, isVerdict := pr.msg.(proto.FPVerdicts); isVerdict {
+					// Verdicts overtake parked acks (the client matches
+					// them by Seq): the next batch's chunks keep flowing
+					// while this window's fsync runs — the overlap that
+					// keeps the disk streaming instead of alternating
+					// fill-then-sync.
+					drainReady()
+				} else {
+					// Every other reply type respects reply order.
+					for len(parked) > 0 {
+						resolveOldest()
+					}
+				}
+				send(pr.msg)
+				if pr.sent != nil {
+					close(pr.sent)
+				}
+			}
+		}
+		for {
+			if len(parked) == 0 {
+				pr, ok := <-replies
+				if !ok {
+					return
+				}
+				handleOne(pr)
+				continue
+			}
+			// With acks parked, wake either for new replies or for the
+			// oldest parked window's sync landing — a quiescent
+			// connection must still get its ack the moment the fsync
+			// completes.
+			select {
+			case pr, ok := <-replies:
+				if !ok {
+					for len(parked) > 0 {
+						resolveOldest()
+					}
+					return
+				}
+				handleOne(pr)
+			case <-head(parked):
+				drainReady()
+			}
+		}
+	}()
+	defer func() {
+		close(replies)
+		<-writerDone
+	}()
+
+	for msg := range frames {
 		// RestoreFile opens a multi-frame exchange (batches out, acks in)
-		// rather than one reply, so it bypasses the request/response
-		// dispatch. streamRestore only errors when the connection itself
-		// is dead.
+		// rather than one reply, so it bypasses the reply queue: first a
+		// flush barrier — RestoreBegin must not overtake a queued verdict
+		// — then the stream owns the connection's send side while its
+		// acks keep arriving through frames. streamRestore only errors
+		// when the connection itself is dead.
 		if rf, ok := msg.(proto.RestoreFile); ok {
-			if err := s.streamRestore(conn, &st.jfc, rf); err != nil {
+			flushed := make(chan struct{})
+			replies <- pendingReply{sent: flushed}
+			<-flushed
+			if err := s.streamRestore(conn, frames, &st.jfc, rf); err != nil {
 				return
 			}
 			continue
 		}
 		reply, err := s.dispatch(msg, st)
 		if err != nil {
-			ack := proto.Ack{OK: false, Err: err.Error()}
-			var re *proto.RemoteError
-			if errors.As(err, &re) {
-				ack.Code, ack.Err = re.Code, re.Msg
-			}
-			reply = ack
+			reply = ackFromErr(err)
 		}
-		if err := conn.Send(reply); err != nil {
-			return
+		if def, ok := reply.(deferredReply); ok {
+			replies <- pendingReply{resolve: def.resolve, done: def.done}
+		} else {
+			replies <- pendingReply{msg: reply}
 		}
 	}
 }
@@ -624,6 +859,24 @@ func (s *Server) getSession(id uint64) (*session, error) {
 	return sess, nil
 }
 
+// chunkLogged reports whether f's chunk bytes are already in the chunk
+// log. True is only ever returned after a successful append, so a
+// "don't transfer" verdict built on it never references bytes the log
+// does not hold.
+func (s *Server) chunkLogged(f fp.FP) bool {
+	s.loggedMu.Lock()
+	_, ok := s.loggedFP[f]
+	s.loggedMu.Unlock()
+	return ok
+}
+
+// markLogged records that f's chunk bytes landed in the chunk log.
+func (s *Server) markLogged(f fp.FP) {
+	s.loggedMu.Lock()
+	s.loggedFP[f] = struct{}{}
+	s.loggedMu.Unlock()
+}
+
 func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 	sess, err := s.getSession(m.SessionID)
 	if err != nil {
@@ -636,10 +889,19 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	for i, f := range m.FPs {
-		tr, admitted := sess.filter.Test(f)
-		need[i] = tr
 		sess.logical += int64(m.Sizes[i])
 		sess.xfer += fp.Size + 1
+		// Cross-session dedup at the log layer: a chunk some concurrent
+		// session already landed in the chunk log needs no second copy,
+		// even though this session's own preliminary filter has never
+		// seen it. Checked before the filter's test-and-set so the
+		// session's new-fingerprint accounting stays honest; the chunk
+		// reaches dedup-2 through the session that logged it.
+		if s.chunkLogged(f) {
+			continue // need[i] stays false
+		}
+		tr, admitted := sess.filter.Test(f)
+		need[i] = tr
 		if tr {
 			sess.newFPs++
 			if !admitted {
@@ -675,8 +937,19 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 	// The batch's Data slices alias the connection's receive buffer,
 	// whose ownership passed to this message (proto's zero-copy decode),
 	// so the log can retain them without another copy.
-	var batchBytes int64
+	var batchBytes, staged int64
+	appended := m.FPs[:0]
 	for i, f := range m.FPs {
+		batchBytes += int64(len(m.Data[i]))
+		// A chunk whose fingerprint is already in the chunk log (this
+		// session's verdict raced a concurrent session's append) adds
+		// no information: skip the append. Its durability rides on the
+		// covering sync below — windows are FIFO and each fsync is
+		// cumulative, so this batch's ticket also covers the earlier
+		// append of the skipped chunk.
+		if s.chunkLogged(f) {
+			continue
+		}
 		if err := s.log.AppendOwned(f, uint32(len(m.Data[i])), m.Data[i]); err != nil {
 			// A failed append on the durable path (ENOSPC, media error)
 			// flips the store read-only: the WAL tail is no longer
@@ -689,7 +962,9 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 			}
 			return nil, err
 		}
-		batchBytes += int64(len(m.Data[i]))
+		s.markLogged(f)
+		staged += int64(len(m.Data[i]))
+		appended = append(appended, f)
 	}
 	sess.mu.Lock()
 	sess.xfer += batchBytes
@@ -698,9 +973,35 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 	// into the pending set. A fingerprint the filter marked "needed" whose
 	// chunk never arrived must NOT become pending, or the vanished
 	// client's retry would be told "don't transfer" for data the server
-	// does not have.
-	sess.logged = append(sess.logged, m.FPs...)
+	// does not have. Skipped duplicates are excluded: they reclaim
+	// through the session that appended them. (Recorded at append time,
+	// not ack time: reclaim reads the live log, which holds the bytes
+	// regardless of fsync.)
+	sess.logged = append(sess.logged, appended...)
 	sess.mu.Unlock()
+	if s.storage != nil {
+		// Durability-ack ordering: park the verdict on the batch's
+		// group-commit window and let the writer goroutine release it
+		// once the covering fsync has landed, so an acknowledged chunk is
+		// always recoverable after a crash. The deferral costs no
+		// pipeline stalls — the next frame dispatches while this verdict
+		// waits — and with group commit disabled the ticket is already
+		// resolved (legacy inline batching).
+		t := s.storage.WALTicket(staged)
+		return deferredReply{
+			done: t.Done(),
+			resolve: func() any {
+				if err := t.Wait(); err != nil {
+					// The covering fsync failed: the batch is not durable
+					// and must not be acknowledged. Latch read-only and
+					// refuse, exactly as a failed append would.
+					s.storage.Fail(err)
+					return ackFromErr(readOnlyRefusal(err))
+				}
+				return proto.Ack{OK: true}
+			},
+		}, nil
+	}
 	return proto.Ack{OK: true}, nil
 }
 
@@ -757,6 +1058,19 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 		NewFingerprints:  sess.newFPs,
 	}
 	sess.mu.Unlock()
+
+	if s.storage != nil {
+		// Durability barrier before the run is marked complete: this
+		// run's recipes may reference chunks appended — and not yet
+		// synced — by a concurrent session (the log-layer dedup above),
+		// which this session's own batch tickets never covered. A
+		// zero-byte ticket waits for the next cumulative fsync, after
+		// which everything the run references is on disk.
+		if err := s.storage.WALTicket(0).Wait(); err != nil {
+			s.storage.Fail(err)
+			return nil, readOnlyRefusal(err)
+		}
+	}
 
 	// Mark the run complete with the director before tearing the session
 	// down: only complete runs serve as a restore source or contribute
@@ -888,6 +1202,16 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	var resetErr error
 	if quiet && (runSIU || s.storage == nil) {
 		resetErr = s.log.Reset()
+		if resetErr == nil {
+			// The truncated log holds nothing: the logged-fingerprint
+			// set must empty with it or dedup-1 would skip transfers
+			// for chunks no longer in the log. Safe here because the
+			// quiet invariant (no sessions, s.mu held) means no session
+			// holds an un-acted-on verdict built on the old set.
+			s.loggedMu.Lock()
+			s.loggedFP = make(map[fp.FP]struct{})
+			s.loggedMu.Unlock()
+		}
 	}
 	s.mu.Unlock()
 	if resetErr != nil {
@@ -971,12 +1295,14 @@ func (s *Server) restoreMeta(m proto.RestoreMeta, jfc *jobFilesCache) (any, erro
 // never materialised: chunks are read through the LPC at chunk
 // granularity — the restorer is internally synchronised, so concurrent
 // restores and backups interleave — and shipped in bounded batches with
-// at most the granted window unacknowledged. The returned error is
-// connection-fatal (the peer is gone); failures before the stream opens
-// are answered with an Ack and failures mid-stream are reported in-band
-// via RestoreDone.Err, leaving the connection usable for the next
-// request.
-func (s *Server) streamRestore(conn *proto.Conn, jfc *jobFilesCache, m proto.RestoreFile) error {
+// at most the granted window unacknowledged. The handler owns the
+// connection's send side for the duration (its reply queue was flushed
+// before the call); inbound acks arrive through frames, fed by the
+// connection's reader goroutine. The returned error is connection-fatal
+// (the peer is gone); failures before the stream opens are answered with
+// an Ack and failures mid-stream are reported in-band via
+// RestoreDone.Err, leaving the connection usable for the next request.
+func (s *Server) streamRestore(conn *proto.Conn, frames <-chan any, jfc *jobFilesCache, m proto.RestoreFile) error {
 	e, err := s.lookupEntry(jfc, m.JobName, m.Path)
 	if err != nil {
 		return conn.Send(proto.Ack{OK: false, Err: err.Error()})
@@ -1001,9 +1327,9 @@ func (s *Server) streamRestore(conn *proto.Conn, jfc *jobFilesCache, m proto.Res
 		chunks    int64
 	)
 	recvAck := func() error {
-		msg, err := conn.Recv()
-		if err != nil {
-			return err
+		msg, ok := <-frames
+		if !ok {
+			return errors.New("server: connection closed during restore stream")
 		}
 		ack, ok := msg.(proto.RestoreAck)
 		if !ok {

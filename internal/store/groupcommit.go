@@ -1,0 +1,215 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// Group commit: one flusher goroutine coalesces fsyncs across every
+// concurrent writer of a durable file.
+//
+// The durable backup path used to pay one fsync per chunk-batch window
+// and one per container append, each issued by the session that happened
+// to cross the batching threshold — and, worse, issued while holding the
+// structure's append lock, so every other session queued behind the
+// disk. A Committer inverts that: writers stage bytes with Enqueue (no
+// I/O, no waiting), a single flusher runs the sync function once per
+// window, and every writer whose bytes were staged before the sync
+// started is released by that one fsync. Under concurrent load the
+// coalescing is mostly free — while one fsync is in flight, every
+// arriving writer joins the next window — and a small optional hold
+// widens windows further when the disk is faster than the arrival rate.
+//
+// A Committer schedules; it never touches files. The sync function it is
+// built over (the chunk-log WAL's Sync, the container log's active-
+// segment sync) must be safe to call concurrently with writers appending,
+// and must guarantee that everything written before the call started is
+// durable when it returns.
+
+const (
+	// DefaultCommitMaxBytes flushes a window early once this many bytes
+	// are staged, bounding the data sitting in the page cache between
+	// fsyncs.
+	DefaultCommitMaxBytes = 8 << 20
+	// DefaultCommitHold is how long the flusher holds an open window for
+	// late joiners before syncing it. The natural coalescing window — the
+	// duration of the in-flight fsync — is usually wider; the hold only
+	// matters when the disk is idle.
+	DefaultCommitHold = 200 * time.Microsecond
+)
+
+// commitWindow is one group of staged writes released by a single sync.
+type commitWindow struct {
+	bytes    int64
+	full     chan struct{} // closed when bytes crosses the window cap
+	fullOnce sync.Once
+	done     chan struct{} // closed when the window's sync completed
+	err      error         // sync verdict, valid after done is closed
+}
+
+func (w *commitWindow) fill() { w.fullOnce.Do(func() { close(w.full) }) }
+
+// Ticket is a claim on a commit window. The zero Ticket is resolved:
+// Wait returns nil immediately (the disabled-group-commit path, where
+// the caller's own write already synced inline).
+type Ticket struct{ w *commitWindow }
+
+// Wait blocks until the ticket's window has been synced and returns the
+// sync verdict. Every Wait on the same window returns the same error.
+func (t Ticket) Wait() error {
+	if t.w == nil {
+		return nil
+	}
+	<-t.w.done
+	return t.w.err
+}
+
+// Pending reports whether the ticket is still waiting on a sync (false
+// for the zero Ticket).
+func (t Ticket) Pending() bool {
+	if t.w == nil {
+		return false
+	}
+	select {
+	case <-t.w.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// resolvedDone serves Done for the zero Ticket.
+var resolvedDone = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Done returns a channel closed once the ticket's window has synced
+// (already closed for the zero Ticket), for callers that select on the
+// sync alongside other events instead of blocking in Wait.
+func (t Ticket) Done() <-chan struct{} {
+	if t.w == nil {
+		return resolvedDone
+	}
+	return t.w.done
+}
+
+// Committer coalesces syncs of one durable file across concurrent
+// writers. Safe for concurrent use.
+type Committer struct {
+	syncFn   func() error
+	hold     time.Duration // max time the flusher holds a window open
+	maxBytes int64         // staged bytes that flush a window early
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cur      *commitWindow
+	flushing bool
+	closed   bool
+	syncs    int64 // completed sync calls (stats, tests)
+}
+
+// NewCommitter builds a scheduler over syncFn. hold and maxBytes follow
+// the knob convention: 0 selects DefaultCommitHold/DefaultCommitMaxBytes,
+// negative disables (no hold / no early flush).
+func NewCommitter(syncFn func() error, hold time.Duration, maxBytes int64) *Committer {
+	if hold == 0 {
+		hold = DefaultCommitHold
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultCommitMaxBytes
+	}
+	c := &Committer{syncFn: syncFn, hold: hold, maxBytes: maxBytes}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// Enqueue stages n bytes into the current window and returns a Ticket
+// the caller can Wait on. The bytes themselves must already be written
+// (buffered) by the caller; Enqueue never blocks on I/O. After Close,
+// Enqueue returns a resolved Ticket — callers must arrange their own
+// final sync before closing (Engine.Close checkpoints first).
+func (c *Committer) Enqueue(n int64) Ticket {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return Ticket{}
+	}
+	w := c.cur
+	if w == nil {
+		w = &commitWindow{full: make(chan struct{}), done: make(chan struct{})}
+		c.cur = w
+		if !c.flushing {
+			c.flushing = true
+			go c.flushLoop()
+		}
+	}
+	w.bytes += n
+	if c.maxBytes > 0 && w.bytes >= c.maxBytes {
+		w.fill()
+	}
+	return Ticket{w: w}
+}
+
+// Commit stages n bytes and waits for the covering sync: the group-commit
+// equivalent of an inline fsync.
+func (c *Committer) Commit(n int64) error { return c.Enqueue(n).Wait() }
+
+// flushLoop is the single flusher: it detaches the current window, runs
+// the sync, releases the window's waiters, and repeats until no window is
+// pending. Started lazily by Enqueue, so an idle Committer costs nothing.
+func (c *Committer) flushLoop() {
+	for {
+		c.mu.Lock()
+		w := c.cur
+		if w == nil {
+			c.flushing = false
+			c.cond.Broadcast()
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+
+		// Hold the window open briefly for late joiners. Writers arriving
+		// during the sync below join the *next* window, which is the main
+		// coalescing mechanism once the disk is busy.
+		if c.hold > 0 {
+			t := time.NewTimer(c.hold)
+			select {
+			case <-w.full:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+
+		c.mu.Lock()
+		c.cur = nil // detach: later Enqueues open a fresh window
+		c.mu.Unlock()
+
+		w.err = c.syncFn()
+		c.mu.Lock()
+		c.syncs++
+		c.mu.Unlock()
+		close(w.done)
+	}
+}
+
+// Syncs returns how many sync calls have completed (tests assert
+// coalescing by comparing this against the number of Commits).
+func (c *Committer) Syncs() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncs
+}
+
+// Close waits for the in-flight window (if any) to sync and stops the
+// flusher. Subsequent Enqueues return resolved Tickets.
+func (c *Committer) Close() {
+	c.mu.Lock()
+	c.closed = true
+	for c.flushing {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}

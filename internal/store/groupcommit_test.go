@@ -1,0 +1,133 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCommitterCoalesces: N concurrent commits over a slow sync must
+// complete with far fewer sync calls than commits — that coalescing is
+// the whole point of the scheduler.
+func TestCommitterCoalesces(t *testing.T) {
+	var syncs atomic.Int64
+	c := NewCommitter(func() error {
+		syncs.Add(1)
+		time.Sleep(2 * time.Millisecond) // a disk-speed fsync
+		return nil
+	}, -1, -1)
+	defer c.Close()
+
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.Commit(1); err != nil {
+				t.Errorf("Commit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := syncs.Load(); got >= n {
+		t.Fatalf("%d commits took %d syncs: no coalescing", n, got)
+	}
+	if got := c.Syncs(); got != syncs.Load() {
+		t.Fatalf("Syncs() = %d, syncFn ran %d times", got, syncs.Load())
+	}
+}
+
+// TestCommitterErrorPropagation: a failed sync must surface to every
+// waiter of that window, and a later window must succeed once the
+// fault clears (the committer keeps scheduling after an error).
+func TestCommitterErrorPropagation(t *testing.T) {
+	injected := errors.New("injected sync failure")
+	var failing atomic.Bool
+	failing.Store(true)
+	c := NewCommitter(func() error {
+		if failing.Load() {
+			return injected
+		}
+		return nil
+	}, -1, -1)
+	defer c.Close()
+
+	const n = 4
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- c.Commit(1)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, injected) {
+			t.Fatalf("Commit during failure = %v, want injected error", err)
+		}
+	}
+
+	failing.Store(false)
+	if err := c.Commit(1); err != nil {
+		t.Fatalf("Commit after fault cleared: %v", err)
+	}
+}
+
+// TestCommitterMaxBytesFlushesEarly: a window that crosses the byte cap
+// must sync immediately instead of waiting out the hold.
+func TestCommitterMaxBytesFlushesEarly(t *testing.T) {
+	c := NewCommitter(func() error { return nil }, time.Hour, 100)
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- c.Commit(100) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("full window waited out the hold instead of flushing early")
+	}
+}
+
+// TestCommitterClose: Close drains the in-flight window, and later
+// Enqueues return resolved tickets (callers checkpoint before closing).
+func TestCommitterClose(t *testing.T) {
+	var syncs atomic.Int64
+	c := NewCommitter(func() error { syncs.Add(1); return nil }, -1, -1)
+
+	if err := c.Commit(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if syncs.Load() == 0 {
+		t.Fatal("no sync completed before Close returned")
+	}
+
+	tk := c.Enqueue(1)
+	if tk.Pending() {
+		t.Fatal("ticket from a closed committer is pending")
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatalf("ticket from a closed committer = %v, want nil", err)
+	}
+}
+
+// TestTicketZeroValue: the zero Ticket is resolved — the disabled-group-
+// commit path hands these out and must never block a session.
+func TestTicketZeroValue(t *testing.T) {
+	var tk Ticket
+	if tk.Pending() {
+		t.Fatal("zero Ticket is pending")
+	}
+	if err := tk.Wait(); err != nil {
+		t.Fatalf("zero Ticket Wait = %v, want nil", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"debar/internal/container"
 	"debar/internal/fp"
+	"debar/internal/fsx"
 )
 
 // SegRepo is the durable chunk repository: a container log split into
@@ -20,9 +21,18 @@ import (
 // CRC-framed container records. Sealed segments and the active tail are
 // memory-mapped read-only, so Load/LoadMeta return zero-copy slices into
 // the mapping for the LPC/restore path; appends go through pread-coherent
-// WriteAt on the active segment and are fsynced before the container ID is
-// published, which is the durability edge dedup-2's WAL truncation relies
-// on.
+// WriteAt on the active segment.
+//
+// Durability is scheduled one of two ways. Standalone (no group
+// committer), every Append fsyncs before publishing the container ID.
+// Under the engine's group committer (SetGroupCommit), Append only
+// *stages* the frame — the committer's flusher syncs the active segment
+// in coalesced windows, and the "everything stored is durable" edge that
+// dedup-2's WAL truncation relies on moves to Flush, which the engine's
+// Checkpoint calls before truncating the WAL or trusting the index. A
+// crash between Append and the covering sync can lose (or tear) trailing
+// containers; recovery truncates the damage and the un-truncated WAL
+// replays their chunks, so nothing acknowledged is lost.
 //
 // Record framing inside a segment:
 //
@@ -46,7 +56,33 @@ type SegRepo struct {
 	end    int64 // append offset in the active segment
 	closed bool
 
+	gc *Committer // group-commit scheduler; nil → fsync inline per Append
+
+	// prealloc keeps the active segment's allocation this many bytes
+	// ahead of the append cursor (0 disables): in-step appends leave the
+	// inode size unchanged, so the committer's data-only syncs skip the
+	// metadata journal. preallocTo is the extent already allocated.
+	prealloc   int64
+	preallocTo int64
+
 	failFn func() error // fault injection: non-nil error fails Append
+}
+
+// SetGroupCommit hands the repository's sync scheduling to c: Append
+// stages frames instead of fsyncing inline, and Flush/the committer's
+// flusher make them durable. Call once, before the first Append.
+func (r *SegRepo) SetGroupCommit(c *Committer) {
+	r.mu.Lock()
+	r.gc = c
+	r.mu.Unlock()
+}
+
+// SetPrealloc sets the allocation step kept ahead of the active
+// segment's append cursor (0 disables). Call before the first Append.
+func (r *SegRepo) SetPrealloc(step int64) {
+	r.mu.Lock()
+	r.prealloc = step
+	r.mu.Unlock()
 }
 
 // SetFailFunc installs a fault-injection hook consulted before every
@@ -139,7 +175,9 @@ func (r *SegRepo) recover() error {
 		}
 		seg.size = end
 		if last {
-			// Drop any torn tail so the next append lands on a clean edge.
+			// Drop any torn or preallocated-but-unwritten tail so the next
+			// append lands on a clean edge; the shrink also guarantees a
+			// later preallocation re-extends over zeros.
 			st, err := f.Stat()
 			if err != nil {
 				return fmt.Errorf("store: %w", err)
@@ -153,6 +191,7 @@ func (r *SegRepo) recover() error {
 				}
 			}
 			r.end = end
+			r.preallocTo = end
 		}
 		mapLen := seg.size
 		if last && r.segBytes > mapLen {
@@ -261,6 +300,7 @@ func (r *SegRepo) addSegmentSized(n int, minMap int64) error {
 	}
 	r.segs = append(r.segs, &segment{path: segPath(r.dir, n), f: f, m: m})
 	r.end = 0
+	r.preallocTo = 0
 	return nil
 }
 
@@ -303,11 +343,19 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 	img := stored.Marshal()
 	frameLen := int64(segFrameHdr + len(img))
 	if r.end > 0 && r.end+frameLen > r.segBytes {
-		// Seal the active segment. Its mapping (with append headroom) is
-		// kept as-is for the life of the repository: remapping would
-		// invalidate zero-copy slices already handed out to the LPC cache
-		// and in-flight restores.
-		if err := r.active().f.Sync(); err != nil {
+		// Seal the active segment: shrink it to its exact record length
+		// (dropping any preallocated tail — sealed segments must scan
+		// exactly to their end on recovery) and fsync data + size before
+		// the next segment exists, so a crash anywhere in the rotation
+		// leaves either a fully sealed segment or this one still last.
+		// The mapping (with append headroom) is kept as-is for the life
+		// of the repository: remapping would invalidate zero-copy slices
+		// already handed out to the LPC cache and in-flight restores.
+		act := r.active()
+		if err := act.f.Truncate(r.end); err != nil {
+			return 0, fmt.Errorf("store: sealing segment: %w", err)
+		}
+		if err := act.f.Sync(); err != nil {
 			return 0, fmt.Errorf("store: sealing segment: %w", err)
 		}
 		if err := r.addSegmentSized(len(r.segs), frameLen); err != nil {
@@ -315,6 +363,15 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 		}
 	}
 	seg := r.active()
+	if r.prealloc > 0 && r.end+frameLen > r.preallocTo {
+		to := r.end + frameLen
+		to += r.prealloc - 1
+		to -= to % r.prealloc
+		if err := fsx.Preallocate(seg.f, to); err != nil {
+			return 0, fmt.Errorf("store: preallocating segment: %w", err)
+		}
+		r.preallocTo = to
+	}
 	frame := make([]byte, frameLen)
 	binary.BigEndian.PutUint32(frame[0:], segFrameMagic)
 	binary.BigEndian.PutUint32(frame[4:], uint32(len(img)))
@@ -323,8 +380,16 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 	if _, err := seg.f.WriteAt(frame, r.end); err != nil {
 		return 0, fmt.Errorf("store: appending container %v: %w", id, err)
 	}
-	if err := seg.f.Sync(); err != nil {
-		return 0, fmt.Errorf("store: appending container %v: %w", id, err)
+	if r.gc == nil {
+		if err := seg.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: appending container %v: %w", id, err)
+		}
+	} else {
+		// Stage the frame with the group committer: the flusher's next
+		// window sync (or Flush) makes it durable. The ID published below
+		// is durable only after that sync — the engine's Checkpoint
+		// flushes before any state depends on it.
+		r.gc.Enqueue(frameLen)
 	}
 	r.loc[id] = segLoc{seg: len(r.segs) - 1, off: r.end, imgLen: int64(len(img))}
 	r.end += frameLen
@@ -332,6 +397,39 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 	r.bytes += stored.DataBytes()
 	r.next++
 	return id, nil
+}
+
+// Flush blocks until every container appended before the call is durable.
+// With a group committer attached this is a commit barrier; without one
+// every Append already fsynced inline and Flush is a no-op.
+func (r *SegRepo) Flush() error {
+	r.mu.RLock()
+	gc := r.gc
+	r.mu.RUnlock()
+	if gc == nil {
+		return nil
+	}
+	return gc.Commit(0)
+}
+
+// syncActive is the group committer's sync function: it flushes the
+// active segment's written data outside the repository lock, so appends
+// (and rotations — which fsync the sealing segment themselves before a
+// new one becomes active) proceed while the disk flushes. Any frame
+// staged before this call started is either in the segment synced here
+// or in one already sealed (synced) by rotation.
+func (r *SegRepo) syncActive() error {
+	r.mu.RLock()
+	if r.closed || len(r.segs) == 0 {
+		r.mu.RUnlock()
+		return nil
+	}
+	f := r.active().f
+	r.mu.RUnlock()
+	if err := fsx.SyncData(f); err != nil {
+		return fmt.Errorf("store: syncing container log: %w", err)
+	}
+	return nil
 }
 
 // locate snapshots a container's location under a short read lock. The

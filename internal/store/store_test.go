@@ -429,6 +429,149 @@ func TestSegRepoConcurrentReadsDuringAppends(t *testing.T) {
 	}
 }
 
+// TestSegRepoPreallocRecovery: with preallocation the active segment's
+// file extends ahead of the append cursor. Rotation must seal segments
+// at their exact record length (sealed segments strict-scan on open, so
+// a leftover tail would fail recovery outright), and the last segment's
+// zero tail must be truncated away like a torn one.
+func TestSegRepoPreallocRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const step = int64(64 << 10)
+	r, err := OpenSegRepo(dir, 200<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetPrealloc(step)
+	var want []*container.Container
+	for i := 0; i < 8; i++ {
+		c := testContainer(i, 200) // ~60 KB: several rotations at 200 KB
+		if _, err := r.Append(c); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, c)
+	}
+	if r.Segments() < 2 {
+		t.Fatalf("expected rotation, got %d segments", r.Segments())
+	}
+	segs := r.Segments()
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sealed segments were shrunk to their records; the active one still
+	// carries its preallocated tail (the shape a crash leaves behind).
+	for i := 0; i < segs-1; i++ {
+		st, err := os.Stat(segPath(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size()%step == 0 {
+			t.Fatalf("sealed segment %d size %d still on a preallocation boundary (tail not dropped)", i, st.Size())
+		}
+	}
+	st, err := os.Stat(segPath(dir, segs-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size()%step != 0 {
+		t.Fatalf("active segment size %d not a preallocation multiple of %d", st.Size(), step)
+	}
+
+	r2, err := OpenSegRepo(dir, 200<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Containers(); got != int64(len(want)) {
+		t.Fatalf("recovered %d containers under preallocated tails, want %d", got, len(want))
+	}
+	for i, c := range want {
+		got, err := r2.Load(fp.ContainerID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Data, c.Data) {
+			t.Fatalf("container %d did not round-trip", i)
+		}
+	}
+	// IDs continue past the recovered maximum: the zero tail was dropped.
+	id, err := r2.Append(testContainer(99, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != fp.ContainerID(len(want)) {
+		t.Fatalf("post-recovery ID %v, want %v", id, len(want))
+	}
+}
+
+// TestEngineGroupCommitRoundTrip: the default engine runs with group
+// commit on — appends stage, Checkpoint is the durability barrier — and
+// everything checkpointed must survive a reopen.
+func TestEngineGroupCommitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Options{IndexBits: 8, SegmentBytes: 1 << 20, PreallocBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.GroupCommit() {
+		t.Fatal("default options did not enable group commit")
+	}
+
+	c := testContainer(7, 100)
+	id, err := e.Repo().Append(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("pending chunk under group commit")
+	f := fp.New(data)
+	if err := e.ChunkLog().Append(f, uint32(len(data)), data); err != nil {
+		t.Fatal(err)
+	}
+	// The covering window's sync is the durability edge for the WAL.
+	if err := e.WALTicket(int64(len(data))).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Options{IndexBits: 8, SegmentBytes: 1 << 20, PreallocBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Repo().Load(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, c.Data) {
+		t.Fatal("container did not survive group-committed reopen")
+	}
+	fps := e2.PendingFPs()
+	if len(fps) != 1 || fps[0] != f {
+		t.Fatalf("PendingFPs = %v, want [%v]", fps, f)
+	}
+}
+
+// TestEngineGroupCommitDisabled: a negative CommitMaxBytes falls back to
+// inline fsync scheduling — no committer, resolved WAL tickets.
+func TestEngineGroupCommitDisabled(t *testing.T) {
+	e, err := Open(t.TempDir(), Options{IndexBits: 8, CommitMaxBytes: -1, WALSyncBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if e.GroupCommit() {
+		t.Fatal("negative CommitMaxBytes left group commit enabled")
+	}
+	if tk := e.WALTicket(1); tk.Pending() {
+		t.Fatal("disabled group commit issued a pending ticket")
+	}
+}
+
 func TestEngineDataDirLocked(t *testing.T) {
 	if !mmapSupported {
 		t.Skip("no advisory locking on this platform")

@@ -21,7 +21,19 @@
 // compared on MB/s; a drop of more than -max-regress (a fraction, default
 // 0.15) fails the gate with exit code 1. Benchmarks that appear or vanish
 // between the two documents are reported but never fail the gate, so
-// adding or renaming a benchmark does not break CI.
+// adding or renaming a benchmark does not break CI. A benchmark whose
+// throughput metric itself vanishes (baseline had MB/s, new run reports
+// none) does fail: that shape is a broken benchmark, not a rename, and
+// skipping it would silently pass the gate. A document with an empty
+// benchmarks array is rejected outright (exit 2) for the same reason.
+//
+// With -summary it renders one document as a Markdown table of
+// durable-vs-mem throughput ratios for a CI job summary:
+//
+//	go run ./tools/benchjson -summary BENCH_ci.json >> "$GITHUB_STEP_SUMMARY"
+//
+// Every benchmark whose name contains "/durable" is paired with its
+// "/mem" counterpart and the ratio of their MB/s figures is reported.
 package main
 
 import (
@@ -64,7 +76,20 @@ type Report struct {
 func main() {
 	diff := flag.Bool("diff", false, "compare two benchjson documents instead of parsing bench output")
 	maxRegress := flag.Float64("max-regress", 0.15, "with -diff: maximum tolerated fractional MB/s drop before failing")
+	summary := flag.Bool("summary", false, "render one benchjson document as a durable-vs-mem Markdown summary")
 	flag.Parse()
+
+	if *summary {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -summary report.json")
+			os.Exit(2)
+		}
+		if err := summarize(flag.Arg(0), os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *diff {
 		if flag.NArg() != 2 {
@@ -145,7 +170,11 @@ func loadReport(path string) (Report, error) {
 // documents at oldPath and newPath, writing a per-benchmark verdict line
 // to w. It reports whether any common benchmark's MB/s dropped by more
 // than maxRegress (a fraction of the old figure). Benchmarks without a
-// throughput metric, or present on only one side, are noted and skipped.
+// throughput metric on either side, or present on only one side, are
+// noted and skipped; a benchmark that *had* throughput in the baseline
+// but reports none now fails the gate — treating it as a skip would let
+// a broken benchmark pass silently. A document with no benchmarks at
+// all is an error, never a clean pass.
 func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regressed bool, err error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -154,6 +183,12 @@ func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regr
 	newRep, err := loadReport(newPath)
 	if err != nil {
 		return false, err
+	}
+	if len(oldRep.Benchmarks) == 0 {
+		return false, fmt.Errorf("%s: no benchmarks in baseline document", oldPath)
+	}
+	if len(newRep.Benchmarks) == 0 {
+		return false, fmt.Errorf("%s: no benchmarks in new document", newPath)
 	}
 	prev := make(map[string]Benchmark, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
@@ -166,7 +201,12 @@ func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regr
 		switch {
 		case !ok:
 			fmt.Fprintf(w, "NEW      %s: %.2f MB/s (no baseline)\n", b.Name, b.MBPerS)
-		case old.MBPerS <= 0 || b.MBPerS <= 0:
+		case old.MBPerS > 0 && b.MBPerS <= 0:
+			fmt.Fprintf(w, "LOST     %s: baseline %.2f MB/s, no throughput reported now\n", b.Name, old.MBPerS)
+			regressed = true
+		case old.MBPerS <= 0 && b.MBPerS > 0:
+			fmt.Fprintf(w, "GAINED   %s: %.2f MB/s (baseline had no throughput metric)\n", b.Name, b.MBPerS)
+		case old.MBPerS <= 0:
 			fmt.Fprintf(w, "SKIP     %s: no throughput metric to compare\n", b.Name)
 		default:
 			change := b.MBPerS/old.MBPerS - 1
@@ -185,9 +225,53 @@ func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regr
 		}
 	}
 	if regressed {
-		fmt.Fprintf(w, "FAIL: throughput regression beyond %.0f%% tolerated\n", 100*maxRegress)
+		fmt.Fprintf(w, "FAIL: throughput regressed beyond %.0f%% tolerated, or a throughput metric vanished\n", 100*maxRegress)
 	}
 	return regressed, nil
+}
+
+// summarize writes a Markdown table of durable-vs-mem throughput ratios
+// for the document at path: every benchmark whose name contains
+// "/durable" is paired with the same name spelled "/mem". Pairs missing
+// either side or either MB/s figure are listed without a ratio rather
+// than dropped, so a summary can't hide a broken variant.
+func summarize(path string, w io.Writer) error {
+	rep, err := loadReport(path)
+	if err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks in document", path)
+	}
+	byName := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	fmt.Fprintln(w, "### Durable vs in-memory throughput")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "| benchmark | durable MB/s | mem MB/s | durable/mem |")
+	fmt.Fprintln(w, "|---|---|---|---|")
+	pairs := 0
+	for _, b := range rep.Benchmarks {
+		if !strings.Contains(b.Name, "/durable") {
+			continue
+		}
+		pairs++
+		label := strings.Replace(b.Name, "/durable", "", 1)
+		mem, ok := byName[strings.Replace(b.Name, "/durable", "/mem", 1)]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "| %s | %.2f | — | no mem counterpart |\n", label, b.MBPerS)
+		case b.MBPerS <= 0 || mem.MBPerS <= 0:
+			fmt.Fprintf(w, "| %s | %.2f | %.2f | no throughput metric |\n", label, b.MBPerS, mem.MBPerS)
+		default:
+			fmt.Fprintf(w, "| %s | %.2f | %.2f | %.2fx |\n", label, b.MBPerS, mem.MBPerS, b.MBPerS/mem.MBPerS)
+		}
+	}
+	if pairs == 0 {
+		fmt.Fprintln(w, "| _no /durable benchmarks in report_ | | | |")
+	}
+	return nil
 }
 
 // parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line.

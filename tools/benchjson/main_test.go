@@ -114,3 +114,95 @@ func TestDiffReports(t *testing.T) {
 		t.Fatal("malformed baseline accepted")
 	}
 }
+
+// TestDiffVanishedThroughput: a benchmark whose throughput metric
+// existed in the baseline but is gone now (MB/s → 0) must fail the gate
+// — the old SKIP verdict here let a broken benchmark pass silently. The
+// reverse shape (0 → MB/s) is reported but never fails.
+func TestDiffVanishedThroughput(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{
+		"BenchmarkBackup": 200,
+		"BenchmarkNoMBs":  0,
+	})
+	newPath := writeReport(t, dir, "new.json", map[string]float64{
+		"BenchmarkBackup": 0,
+		"BenchmarkNoMBs":  0,
+	})
+
+	var out strings.Builder
+	regressed, err := diffReports(oldPath, newPath, 0.15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed || !strings.Contains(out.String(), "LOST") {
+		t.Fatalf("vanished throughput not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "SKIP") {
+		t.Fatalf("0 → 0 benchmark should still be a SKIP:\n%s", out.String())
+	}
+
+	// Throughput appearing where the baseline had none: noted, not failed.
+	gainPath := writeReport(t, dir, "gain.json", map[string]float64{
+		"BenchmarkBackup": 200,
+		"BenchmarkNoMBs":  50,
+	})
+	out.Reset()
+	regressed, err = diffReports(oldPath, gainPath, 0.15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("gained throughput failed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "GAINED") {
+		t.Fatalf("gained throughput not reported:\n%s", out.String())
+	}
+}
+
+// TestDiffEmptyReports: a document with no benchmarks at all is an
+// error (exit 2 in main), never a clean gate pass.
+func TestDiffEmptyReports(t *testing.T) {
+	dir := t.TempDir()
+	full := writeReport(t, dir, "full.json", map[string]float64{"BenchmarkBackup": 200})
+	empty := writeReport(t, dir, "empty.json", nil)
+
+	var out strings.Builder
+	if _, err := diffReports(empty, full, 0.15, &out); err == nil {
+		t.Fatal("empty baseline accepted as a clean pass")
+	}
+	if _, err := diffReports(full, empty, 0.15, &out); err == nil {
+		t.Fatal("empty new document accepted as a clean pass")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dir := t.TempDir()
+	path := writeReport(t, dir, "rep.json", map[string]float64{
+		"BenchmarkEndToEndBackup/durable/clients=4": 100,
+		"BenchmarkEndToEndBackup/mem/clients=4":     80,
+		"BenchmarkEndToEndBackup/durable/clients=1": 90,
+		"BenchmarkOther": 55,
+	})
+
+	var out strings.Builder
+	if err := summarize(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "1.25x") {
+		t.Fatalf("durable/mem ratio 100/80 missing from:\n%s", got)
+	}
+	// The unpaired durable variant is listed, not silently dropped.
+	if !strings.Contains(got, "no mem counterpart") {
+		t.Fatalf("unpaired durable benchmark missing from:\n%s", got)
+	}
+	if strings.Contains(got, "BenchmarkOther") {
+		t.Fatalf("non-durable benchmark should not appear:\n%s", got)
+	}
+
+	empty := writeReport(t, dir, "empty.json", nil)
+	if err := summarize(empty, &out); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
