@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"debar/internal/experiments"
+	"debar/internal/obs"
 )
 
 func main() {
@@ -27,12 +29,55 @@ func main() {
 	scale := flag.Int64("scale", int64(experiments.DefaultScale), "scale divisor S applied to all paper sizes")
 	runs := flag.Int("runs", 5, "simulation runs per row (table2)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	logLevel := flag.String("log-level", "warn", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
+	metricsOut := flag.String("metrics-out", "", "write the final obs metrics snapshot as JSON to this file")
 	flag.Parse()
 
-	if err := run(strings.ToLower(*exp), experiments.Scale(*scale), *runs, *seed); err != nil {
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "debar-bench:", err)
 		os.Exit(1)
 	}
+	slog.SetDefault(logger)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "debar-bench:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		logger.Info("debug listener started", "addr", dbg.Addr())
+	}
+
+	runErr := run(strings.ToLower(*exp), experiments.Scale(*scale), *runs, *seed)
+	if *metricsOut != "" {
+		if err := writeMetrics(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "debar-bench:", err)
+			if runErr == nil {
+				runErr = err
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "debar-bench:", runErr)
+		os.Exit(1)
+	}
+}
+
+// writeMetrics dumps the process-global metric registry — every counter
+// and histogram the experiments touched — as indented JSON.
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(exp string, scale experiments.Scale, runs int, seed int64) error {

@@ -12,9 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 
 	"debar/internal/client"
+	"debar/internal/obs"
 )
 
 func main() {
@@ -27,13 +29,30 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 0, "per-read/write deadline on the server connection (0 = 2m, negative = none)")
 	retries := flag.Int("retries", 0, "extra attempts after a transient network failure, resuming prior progress (0 = 3, negative = no retries)")
 	backoff := flag.Duration("retry-backoff", 0, "base delay between retries, doubled with jitter each attempt (0 = 100ms)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: debar-client [-server addr] backup|restore <job> <dir>")
 		os.Exit(2)
 	}
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		log.Fatalf("debar-client: %v", err)
+	}
+	slog.SetDefault(logger)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debar-client: %v", err)
+		}
+		defer dbg.Close()
+		logger.Info("debug listener started", "addr", dbg.Addr())
+	}
 	c := client.New(*srv, *name)
+	c.Logger = logger
 	c.Window = *window
 	c.Workers = *workers
 	if *batch > 0 {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 
 	"debar/internal/director"
 	"debar/internal/metastore"
+	"debar/internal/obs"
 )
 
 func main() {
@@ -27,7 +29,24 @@ func main() {
 	controlTimeout := flag.Duration("control-timeout", 0, "dial and per-I/O deadline for outbound dedup-2 triggers (0 = 10s, negative = none)")
 	dedup2Timeout := flag.Duration("dedup2-timeout", 0, "how long to wait for a server's dedup-2 pass to finish (0 = 15m, negative = forever)")
 	retries := flag.Int("retries", 0, "extra attempts for transient dedup-2 trigger failures (0 = 2, negative = no retries)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		log.Fatalf("debar-director: %v", err)
+	}
+	slog.SetDefault(logger)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debar-director: %v", err)
+		}
+		defer dbg.Close()
+		logger.Info("debug listener started", "addr", dbg.Addr())
+	}
 
 	var d *director.Director
 	var ms *metastore.Store
@@ -46,7 +65,7 @@ func main() {
 	} else {
 		d = director.New()
 	}
-	d.SetLogger(log.Printf)
+	d.SetLogger(logger)
 	d.IdleTimeout = *idleTimeout
 	d.ControlTimeout = *controlTimeout
 	d.Dedup2Timeout = *dedup2Timeout

@@ -12,10 +12,12 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"debar/internal/obs"
 	"debar/internal/server"
 )
 
@@ -32,7 +34,24 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline on client connections (0 = 2m, negative = none)")
 	controlTimeout := flag.Duration("control-timeout", 0, "dial and per-I/O deadline for director control calls (0 = 10s, negative = none)")
 	controlRetries := flag.Int("control-retries", 0, "extra attempts for transient director control-call failures (0 = 2, negative = no retries)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logJSON)
+	if err != nil {
+		log.Fatalf("debar-server: %v", err)
+	}
+	slog.SetDefault(logger)
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, nil)
+		if err != nil {
+			log.Fatalf("debar-server: %v", err)
+		}
+		defer dbg.Close()
+		logger.Info("debug listener started", "addr", dbg.Addr())
+	}
 	if *indexBits == 0 && *dataDir == "" {
 		// Memory-backed default stays 2^18 buckets; for a data dir an
 		// unset flag must adopt the manifest's geometry instead of
@@ -41,6 +60,7 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
+		Logger:         logger,
 		DirectorAddr:   *dir,
 		IndexBits:      *indexBits,
 		DataDir:        *dataDir,

@@ -55,6 +55,37 @@
 // ControlTimeout, Dedup2Timeout, Retries. The internal/faultproxy chaos
 // proxy and the chaos suite (chaos_test.go) exercise the whole matrix
 // under -race in CI.
+//
+// # Observability
+//
+// Every daemon instruments its hot paths through internal/obs — a
+// dependency-free, allocation-cheap metrics package (atomic counters,
+// gauges and fixed-bucket histograms in a process-global registry) —
+// and logs structured events through log/slog. The shared CLI
+// convention across debar-server, debar-director, debar-client and
+// debar-bench:
+//
+//   - -log-level debug|info|warn|error and -log-json select the slog
+//     handler (Debug: routine lifecycle; Info: session resumes and
+//     dedup-2 pass summaries; Warn: reclaims, retries, stage failures;
+//     Error: the store latching read-only);
+//   - -debug-addr starts an opt-in HTTP listener serving /metrics
+//     (Prometheus text format), /metrics.json (the obs snapshot) and
+//     net/http/pprof under /debug/pprof/. Off by default: with the
+//     listener disabled the instrumentation cost is a few atomic adds
+//     per batch.
+//
+// Metric names are prefixed by layer: server_* (sessions, prefilter
+// hits/misses, chunk ingest, dedup-2 pass latencies, restore streams),
+// store_* (WAL append/fsync latencies, group-commit window
+// distributions, segment rotations, index lookups), dedup2_region_*
+// (per-region SIL scan/pack/commit latencies), director_* (run
+// lifecycle, dedup-2 trigger outcomes, control retries) and client_*
+// (retries, resumes, pipeline window occupancy). The storage-engine
+// series, and how to read the group-commit coalescing histograms, are
+// catalogued in internal/store/README.md. CI captures the snapshot of a
+// benchmark run via DEBAR_METRICS_OUT and embeds it in the BENCH_ci
+// artifact (tools/benchjson -metrics).
 package debar
 
 import (

@@ -5,9 +5,22 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"time"
 
 	"debar/internal/fp"
 	"debar/internal/fsx"
+	"debar/internal/obs"
+)
+
+// WAL metrics: append volume/latency and the fsync distribution. The
+// fsync series pairs with store_commit_wal_* (group-commit scheduling)
+// — fsyncs here are the syncs those windows resolve into.
+var (
+	mWALAppendBytes   = obs.GetCounter("store_wal_append_bytes_total")
+	mWALAppendSeconds = obs.GetHistogram("store_wal_append_seconds", obs.DurationBuckets)
+	mWALFsyncs        = obs.GetCounter("store_wal_fsyncs_total")
+	mWALFsyncSeconds  = obs.GetHistogram("store_wal_fsync_seconds", obs.DurationBuckets)
+	mWALSyncedBytes   = obs.GetCounter("store_wal_synced_bytes_total")
 )
 
 // WAL mode turns the chunk log into a durable write-ahead log: every
@@ -130,6 +143,7 @@ func (l *Log) recoverWAL() ([]fp.FP, error) {
 // applies the fsync batching policy (unless an external group committer
 // owns sync scheduling).
 func (l *Log) appendWAL(f fp.FP, size uint32, data []byte) error {
+	defer mWALAppendSeconds.Since(time.Now())
 	rec := make([]byte, walHeader+len(data))
 	copy(rec[4:], f[:])
 	binary.BigEndian.PutUint32(rec[4+fp.Size:], size)
@@ -151,6 +165,7 @@ func (l *Log) appendWAL(f fp.FP, size uint32, data []byte) error {
 	}
 	l.end += int64(len(rec))
 	l.dirty += len(rec)
+	mWALAppendBytes.Add(int64(len(rec)))
 	if !l.extSync && l.syncBytes > 0 && l.dirty >= l.syncBytes {
 		return l.syncLocked()
 	}
@@ -227,9 +242,13 @@ func (l *Log) Sync() error {
 			return fmt.Errorf("chunklog: sync: %w", err)
 		}
 	}
+	start := time.Now()
 	if err := fsx.SyncData(file); err != nil {
 		return fmt.Errorf("chunklog: sync: %w", err)
 	}
+	mWALFsyncs.Inc()
+	mWALFsyncSeconds.Since(start)
+	mWALSyncedBytes.Add(int64(dirty))
 	l.mu.Lock()
 	// Clamp rather than subtract blindly: a concurrent Reset may have
 	// zeroed the counter while the fsync was in flight.
@@ -254,9 +273,13 @@ func (l *Log) syncLocked() error {
 			return fmt.Errorf("chunklog: sync: %w", err)
 		}
 	}
+	start := time.Now()
 	if err := fsx.SyncData(l.file); err != nil {
 		return fmt.Errorf("chunklog: sync: %w", err)
 	}
+	mWALFsyncs.Inc()
+	mWALFsyncSeconds.Since(start)
+	mWALSyncedBytes.Add(int64(l.dirty))
 	l.dirty = 0
 	return nil
 }

@@ -65,14 +65,29 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
 
 	"debar/internal/chunker"
+	"debar/internal/obs"
 	"debar/internal/proto"
 	"debar/internal/retry"
+)
+
+// Client-side fault-tolerance and pipeline metrics. Retries count
+// re-attempts after transient connection failures (not the first try);
+// resumes count restores that continued mid-file instead of starting
+// over. Window occupancy is sampled at each slot acquire: a
+// distribution pinned at Window means the round-trip, not the client,
+// paces the backup.
+var (
+	mBackupRetries   = obs.GetCounter("client_backup_retries_total")
+	mRestoreRetries  = obs.GetCounter("client_restore_retries_total")
+	mRestoreResumes  = obs.GetCounter("client_restore_resumes_total")
+	mWindowOccupancy = obs.GetHistogram("client_window_occupancy", obs.CountBuckets)
 )
 
 // defaultWindow is the default number of FPBatches kept in flight.
@@ -120,6 +135,18 @@ type Client struct {
 	// RetryBackoff is the delay before the first retry; it doubles per
 	// consecutive failure (jittered, capped at 5s). 0 selects 100ms.
 	RetryBackoff time.Duration
+
+	// Logger receives the client's structured log events (retries,
+	// resumes). Nil selects slog.Default.
+	Logger *slog.Logger
+}
+
+// logger resolves the client's structured logger.
+func (c *Client) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
+	}
+	return slog.Default()
 }
 
 // dial opens a bounded connection to the backup server.
@@ -175,6 +202,9 @@ func (c *Client) Backup(jobName, dir string) (BackupStats, error) {
 		if err == nil || !retry.Transient(err) || attempt >= pol.Attempts-1 {
 			return stats, err
 		}
+		mBackupRetries.Inc()
+		c.logger().Warn("backup attempt failed, retrying",
+			"job", jobName, "attempt", attempt+1, "err", err)
 		time.Sleep(pol.Backoff(attempt))
 	}
 }
@@ -279,6 +309,7 @@ func (c *Client) Restore(jobName, destDir string) (int, error) {
 			// The file changed between attempts or the server declined the
 			// resume offset: drop the partial state and restore that file
 			// from scratch. Still consumes the retry budget.
+			c.logger().Warn("restore resume declined, restarting file", "job", jobName, "err", err)
 			res.abandon()
 		} else if !retry.Transient(err) {
 			return restored, err
@@ -286,6 +317,9 @@ func (c *Client) Restore(jobName, destDir string) (int, error) {
 		if attempt >= pol.Attempts-1 {
 			return restored, err
 		}
+		mRestoreRetries.Inc()
+		c.logger().Warn("restore attempt failed, retrying",
+			"job", jobName, "attempt", attempt+1, "err", err)
 		time.Sleep(pol.Backoff(attempt))
 	}
 }

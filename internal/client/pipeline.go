@@ -315,6 +315,9 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 	// Dispatcher (this goroutine): restore seq order, build FileEntries,
 	// cut batches, and manage the window.
 	acquire := func() bool {
+		// Sample in-flight requests before blocking: a distribution pinned
+		// at the window size means the round-trip paces the backup.
+		mWindowOccupancy.Observe(float64(window - len(slots)))
 		select {
 		case <-slots:
 			return true

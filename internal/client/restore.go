@@ -161,6 +161,9 @@ func (c *Client) restoreOne(conn *proto.Conn, jobName, path, destDir string, res
 		if begin.StartChunk != uint64(start) || !entryEqual(entry, res.entry) {
 			return fmt.Errorf("client: restore %s: %w", path, errResumeInvalid)
 		}
+		mRestoreResumes.Inc()
+		c.logger().Info("restore resumed mid-file",
+			"job", jobName, "path", path, "start_chunk", start, "written_bytes", res.written)
 	} else {
 		dst, err := safeJoin(destDir, entry.Path)
 		if err != nil {

@@ -11,7 +11,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -19,8 +19,20 @@ import (
 
 	"debar/internal/fp"
 	"debar/internal/metastore"
+	"debar/internal/obs"
 	"debar/internal/proto"
 	"debar/internal/retry"
+)
+
+// Control-plane metrics: run lifecycle, dedup-2 trigger outcomes and
+// the retry traffic behind them.
+var (
+	mRunsStarted    = obs.GetCounter("director_runs_started_total")
+	mRunsCompleted  = obs.GetCounter("director_runs_completed_total")
+	mServersReg     = obs.GetCounter("director_servers_registered_total")
+	mDedup2Triggers = obs.GetCounter("director_dedup2_triggers_total")
+	mDedup2Failures = obs.GetCounter("director_dedup2_trigger_failures_total")
+	mControlRetries = obs.GetCounter("director_control_retries_total")
 )
 
 // Control-plane timeout defaults. Dedup-2 is the outlier: the server
@@ -105,17 +117,17 @@ type Director struct {
 	conns    map[*proto.Conn]struct{} // live handler connections
 	handlers sync.WaitGroup
 	closed   bool
-	logf     func(string, ...any)
+	slog     *slog.Logger
 	meta     *metastore.Store // nil: memory-only director
 }
 
-// New returns an empty director.
+// New returns an empty director logging through slog.Default.
 func New() *Director {
 	return &Director{
 		jobs:  make(map[string]*Job),
 		runs:  make(map[string][]*Run),
 		conns: make(map[*proto.Conn]struct{}),
-		logf:  func(string, ...any) {},
+		slog:  slog.Default(),
 	}
 }
 
@@ -209,10 +221,10 @@ func (d *Director) persist(job string, ev metaEvent) error {
 	return d.meta.Append(job, buf.Bytes())
 }
 
-// SetLogger installs a log function (e.g. log.Printf).
-func (d *Director) SetLogger(f func(string, ...any)) {
-	if f != nil {
-		d.logf = f
+// SetLogger installs a structured logger; nil keeps the current one.
+func (d *Director) SetLogger(l *slog.Logger) {
+	if l != nil {
+		d.slog = l
 	}
 }
 
@@ -250,7 +262,8 @@ func (d *Director) RegisterServer(addr string) int {
 	defer d.mu.Unlock()
 	id := len(d.servers)
 	d.servers = append(d.servers, &serverInfo{id: id, addr: addr})
-	d.logf("director: server %d registered at %s", id, addr)
+	mServersReg.Inc()
+	d.slog.Debug("backup server registered", "server", id, "addr", addr)
 	return id
 }
 
@@ -298,9 +311,11 @@ func (d *Director) NewRun(jobName, client string) uint64 {
 	}); err != nil {
 		// The run proceeds in memory; a journal failure costs durability
 		// of this run only, and the next mutation will surface it again.
-		d.logf("director: journaling run %d of %q: %v", run.ID, jobName, err)
+		d.slog.Warn("journaling run failed, run proceeds in memory",
+			"run", run.ID, "job", jobName, "err", err)
 	}
 	d.runs[jobName] = append(d.runs[jobName], run)
+	mRunsStarted.Inc()
 	return run.ID
 }
 
@@ -333,6 +348,7 @@ func (d *Director) EndRun(jobName string, runID uint64) error {
 				return err
 			}
 			runs[i].Complete = true
+			mRunsCompleted.Inc()
 			return nil
 		}
 	}
@@ -391,10 +407,18 @@ func (d *Director) TriggerDedup2(runSIU bool) error {
 		attempts = 1
 	}
 	for _, addr := range d.Servers() {
+		mDedup2Triggers.Inc()
+		first := true
 		err := retry.Policy{Attempts: attempts, Base: 100 * time.Millisecond}.Do(func() error {
+			if !first {
+				mControlRetries.Inc()
+			}
+			first = false
 			return d.triggerOne(addr, runSIU)
 		})
 		if err != nil {
+			mDedup2Failures.Inc()
+			d.slog.Warn("dedup-2 trigger failed", "server", addr, "err", err)
 			return err
 		}
 	}
@@ -428,8 +452,8 @@ func (d *Director) triggerOne(addr string, runSIU bool) error {
 	if done.Err != "" {
 		return fmt.Errorf("director: server %s dedup-2: %s", addr, done.Err)
 	}
-	d.logf("director: %s dedup-2 done: %d new, %d dup, %d containers",
-		addr, done.NewChunks, done.DupChunks, done.Containers)
+	d.slog.Info("dedup-2 done", "server", addr,
+		"new_chunks", done.NewChunks, "dup_chunks", done.DupChunks, "containers", done.Containers)
 	return nil
 }
 
@@ -555,7 +579,7 @@ func (d *Director) handle(conn *proto.Conn) {
 			reply = proto.Ack{OK: false, Err: fmt.Sprintf("unexpected message %T", msg)}
 		}
 		if err := conn.Send(reply); err != nil {
-			log.Printf("director: send: %v", err)
+			d.slog.Warn("control reply send failed", "msg", fmt.Sprintf("%T", msg), "err", err)
 			return
 		}
 	}

@@ -23,7 +23,13 @@ import (
 
 	"debar/internal/disksim"
 	"debar/internal/fp"
+	"debar/internal/obs"
 )
+
+// mIndexLookups counts point Lookup calls — the random-read index
+// traffic the LPC and prefilter exist to avoid (sequential SIL/SIU
+// scans are not counted here).
+var mIndexLookups = obs.GetCounter("store_index_lookups_total")
 
 const (
 	// BlockSize is the disk block size the index is built from (§4.2).
@@ -271,6 +277,7 @@ func (ix *Index) neighbours(k uint64, f fp.FP) []uint64 {
 // "A random lookup in an overflowed bucket can require two random disk
 // I/Os"). It charges one random read per touched bucket.
 func (ix *Index) Lookup(f fp.FP) (fp.ContainerID, error) {
+	mIndexLookups.Inc()
 	k := ix.BucketOf(f)
 	nslots := ix.cfg.EntriesPerBucket()
 	buf := make([]byte, ix.cfg.BucketBytes())

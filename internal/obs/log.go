@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// The daemons share one logging convention:
+//
+//	-log-level debug|info|warn|error   (default info)
+//	-log-json                          emit JSON records instead of text
+//
+// NewLogger turns those two flag values into a *slog.Logger. Each cmd
+// binary installs it with slog.SetDefault so library code that falls
+// back to slog.Default() inherits the configuration.
+
+// ParseLevel maps a -log-level flag value to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w at the given level,
+// using the JSON handler when jsonFmt is set and the text handler
+// otherwise.
+func NewLogger(w io.Writer, level string, jsonFmt bool) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	var h slog.Handler
+	if jsonFmt {
+		h = slog.NewJSONHandler(w, opts)
+	} else {
+		h = slog.NewTextHandler(w, opts)
+	}
+	return slog.New(h), nil
+}

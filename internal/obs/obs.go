@@ -1,0 +1,220 @@
+// Package obs is the observability layer shared by every debar
+// component: allocation-cheap metric primitives (atomic counters,
+// gauges, fixed-bucket histograms), a process-global named registry
+// with snapshot/reset, Prometheus-text and JSON exposition, an opt-in
+// debug HTTP listener (/metrics, /metrics.json, net/http/pprof), and a
+// small log/slog setup helper backing the shared -log-level/-log-json
+// CLI convention.
+//
+// The package has no dependencies outside the standard library and is
+// safe on hot paths: a Counter.Add is a single atomic add, a
+// Histogram.Observe is one binary search plus two atomic adds and a
+// CAS. All metric methods are nil-receiver safe — a component can hold
+// optional metric handles and call them unconditionally.
+//
+// Metric names follow the Prometheus convention: subsystem prefix,
+// snake case, `_total` suffix on counters, unit suffix on histograms
+// (`_seconds`, `_bytes`). The catalog of names emitted by the daemons
+// is documented in the debar package comment.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are nil-receiver safe no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (negative n is ignored: counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is an atomic instantaneous value (can go up and down). The
+// zero value is ready to use; all methods are nil-receiver safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction. Buckets are defined by their inclusive upper bounds;
+// an implicit +Inf bucket catches the rest. Observe is lock-free; a
+// concurrent Snapshot is consistent enough for monitoring (counts may
+// trail the sum by in-flight observations, never the reverse by more
+// than the race window).
+type Histogram struct {
+	bounds  []float64 // sorted inclusive upper bounds
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram builds a histogram over the given upper bounds. Bounds
+// are sorted and deduplicated; an empty slice yields a single +Inf
+// bucket (count/sum only).
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	uniq := bs[:0]
+	for _, b := range bs {
+		if len(uniq) == 0 || b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+	return &Histogram{bounds: uniq, buckets: make([]atomic.Int64, len(uniq)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the last slot is +Inf.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds, the Prometheus base unit.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.Observe(d.Seconds())
+}
+
+// Since records the seconds elapsed since start. Guarding call sites
+// stay one-liners: defer h.Since(time.Now()).
+func (h *Histogram) Since(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumBits.Store(0)
+}
+
+// snapshot returns the histogram state as cumulative bucket counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Sum:     h.Sum(),
+		Buckets: make([]BucketCount, len(h.bounds)+1),
+	}
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = BucketCount{LE: le, Count: cum}
+	}
+	s.Count = cum
+	return s
+}
+
+// ExpBuckets returns n upper bounds in geometric progression:
+// start, start*factor, start*factor².... Panics on nonsense arguments.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	bs := make([]float64, n)
+	v := start
+	for i := range bs {
+		bs[i] = v
+		v *= factor
+	}
+	return bs
+}
+
+// Standard bucket layouts. Latencies span 10 µs .. ~80 s (fsync and
+// dedup-2 pass scales), sizes span 1 KiB .. ~1 GiB (batch and window
+// scales), counts span 1 .. 32768 (writers per window, batch sizes).
+var (
+	DurationBuckets = ExpBuckets(10e-6, 2, 23)
+	SizeBuckets     = ExpBuckets(1024, 2, 21)
+	CountBuckets    = ExpBuckets(1, 2, 16)
+)

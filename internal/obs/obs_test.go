@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	h.Since(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metric receivers should read as zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 556.5 {
+		t.Fatalf("sum = %v, want 556.5", s.Sum)
+	}
+	// Cumulative: <=1 holds {0.5, 1}, <=10 adds {5}, <=100 adds {50},
+	// +Inf adds {500}.
+	wantCum := []int64{2, 3, 4, 5}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].LE, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", s.Buckets[3].LE)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestConcurrentHammer drives counters, gauges and histograms from
+// many goroutines; run under -race this is the data-race check, and
+// the totals prove no increment is lost.
+func TestConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_seconds", DurationBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%7) * 1e-5)
+			}
+		}()
+	}
+	wg.Wait()
+	const total = workers * perWorker
+	if got := r.Counter("hammer_total").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("hammer_gauge").Value(); got != total {
+		t.Fatalf("gauge = %d, want %d", got, total)
+	}
+	h := r.Histogram("hammer_seconds", nil)
+	if got := h.Count(); got != total {
+		t.Fatalf("histogram count = %d, want %d", got, total)
+	}
+	s := h.snapshot()
+	if s.Buckets[len(s.Buckets)-1].Count != total {
+		t.Fatalf("cumulative +Inf bucket = %d, want %d", s.Buckets[len(s.Buckets)-1].Count, total)
+	}
+}
+
+// TestSnapshotVsReset checks the snapshot/reset contract: a snapshot
+// taken before Reset keeps its values, metrics read zero afterwards,
+// and previously returned handles stay live.
+func TestSnapshotVsReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	h := r.Histogram("h_seconds", []float64{1, 10})
+	c.Add(7)
+	g.Set(3)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	before := r.Snapshot()
+	if before.Counters["c_total"] != 7 || before.Gauges["g"] != 3 {
+		t.Fatalf("snapshot before reset = %+v", before)
+	}
+	hs := before.Histograms["h_seconds"]
+	if hs.Count != 2 || hs.Sum != 5.5 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+
+	r.Reset()
+	after := r.Snapshot()
+	if after.Counters["c_total"] != 0 || after.Gauges["g"] != 0 || after.Histograms["h_seconds"].Count != 0 {
+		t.Fatalf("snapshot after reset not zeroed: %+v", after)
+	}
+	// The pre-reset snapshot is a copy, not a view.
+	if before.Counters["c_total"] != 7 || before.Histograms["h_seconds"].Count != 2 {
+		t.Fatal("reset mutated an existing snapshot")
+	}
+	// Handles stay live after reset.
+	c.Inc()
+	if r.Counter("c_total").Value() != 1 {
+		t.Fatal("counter handle dead after reset")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same name must return same counter")
+	}
+	h1 := r.Histogram("h", []float64{1, 2})
+	h2 := r.Histogram("h", []float64{99}) // first registration wins
+	if h1 != h2 {
+		t.Fatal("same name must return same histogram")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	r.Gauge("b").Set(5)
+	h := r.Histogram("lat_seconds", []float64{1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	m := r.Snapshot().Flatten()
+	if m["a_total"] != 2 || m["b"] != 5 {
+		t.Fatalf("flatten = %v", m)
+	}
+	if m["lat_seconds_count"] != 2 || m["lat_seconds_sum"] != 1 {
+		t.Fatalf("flatten histogram fields = %v", m)
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("req_total").Add(3)
+	r.Gauge("depth").Set(2)
+	h := r.Histogram("lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE req_total counter\nreq_total 3\n",
+		"# TYPE depth gauge\ndepth 2\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 2`,
+		"lat_seconds_sum 0.55",
+		"lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSnapshotJSONRoundTrip: a snapshot with histograms must survive
+// WriteJSON → Unmarshal, +Inf overflow bucket included — encoding/json
+// rejects non-finite numbers, so the bucket bound needs its string
+// form on the wire.
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_total").Add(3)
+	h := r.Histogram("rt_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5) // lands in the +Inf overflow bucket
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, buf.Bytes())
+	}
+	hs, ok := snap.Histograms["rt_seconds"]
+	if !ok || hs.Count != 2 || hs.Sum != 5.05 {
+		t.Fatalf("histogram snapshot = %+v", hs)
+	}
+	if n := len(hs.Buckets); n != 3 {
+		t.Fatalf("bucket count = %d", n)
+	}
+	last := hs.Buckets[len(hs.Buckets)-1]
+	if !math.IsInf(last.LE, 1) || last.Count != 2 {
+		t.Fatalf("overflow bucket = %+v", last)
+	}
+	if snap.Counters["rt_total"] != 3 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("debug_hits_total").Add(9)
+	r.Histogram("debug_seconds", []float64{0.1, 1}).Observe(0.5)
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + ds.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "debug_hits_total 9") {
+		t.Fatalf("/metrics: code=%d body=%q", code, body)
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json: code=%d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if snap.Counters["debug_hits_total"] != 9 {
+		t.Fatalf("/metrics.json counters = %v", snap.Counters)
+	}
+	if snap.Histograms["debug_seconds"].Count != 1 {
+		t.Fatalf("/metrics.json histograms = %v", snap.Histograms)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/: code=%d", code)
+	}
+}
+
+func TestParseLevelAndNewLogger(t *testing.T) {
+	for s, want := range map[string]string{
+		"debug": "DEBUG", "info": "INFO", "WARN": "WARN", "error": "ERROR",
+	} {
+		lv, err := ParseLevel(s)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", s, err)
+		}
+		if lv.String() != want {
+			t.Fatalf("ParseLevel(%q) = %v, want %v", s, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel should reject unknown levels")
+	}
+
+	var sb strings.Builder
+	lg, err := NewLogger(&sb, "warn", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", "v")
+	out := sb.String()
+	if strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Fatalf("level filtering wrong: %q", out)
+	}
+
+	sb.Reset()
+	jl, err := NewLogger(&sb, "info", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.Info("event", "n", 1)
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &rec); err != nil {
+		t.Fatalf("json handler output not JSON: %v (%q)", err, sb.String())
+	}
+	if rec["msg"] != "event" {
+		t.Fatalf("json record = %v", rec)
+	}
+}

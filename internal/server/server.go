@@ -7,6 +7,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"runtime"
 	"sync"
@@ -17,11 +18,37 @@ import (
 	"debar/internal/container"
 	"debar/internal/diskindex"
 	"debar/internal/fp"
+	"debar/internal/obs"
 	"debar/internal/prefilter"
 	"debar/internal/proto"
 	"debar/internal/retry"
 	"debar/internal/store"
 	"debar/internal/tpds"
+)
+
+// Server metric series (process registry; see the debar package comment
+// for the full catalog). Hot-path counters are batched: fpBatch and
+// chunkBatch accumulate locally and issue one atomic add per batch.
+var (
+	mConnsAccepted  = obs.GetCounter("server_conns_accepted_total")
+	mConnsActive    = obs.GetGauge("server_conns_active")
+	mSessionsOpened = obs.GetCounter("server_sessions_opened_total")
+	mSessionsReaped = obs.GetCounter("server_sessions_reaped_total")
+	mSessionsActive = obs.GetGauge("server_sessions_active")
+	mFPBatches      = obs.GetCounter("server_fp_batches_total")
+	mPrefilterHits  = obs.GetCounter("server_prefilter_hits_total")
+	mPrefilterMiss  = obs.GetCounter("server_prefilter_misses_total")
+	mLoggedDupHits  = obs.GetCounter("server_logged_dup_hits_total")
+	mChunkBatches   = obs.GetCounter("server_chunk_batches_total")
+	mBytesIn        = obs.GetCounter("server_chunk_bytes_in_total")
+	mPendingFPs     = obs.GetGauge("server_pending_fps")
+	mDedup2Passes   = obs.GetCounter("server_dedup2_passes_total")
+	mDedup2Errors   = obs.GetCounter("server_dedup2_errors_total")
+	mDedup2SILSec   = obs.GetHistogram("server_dedup2_sil_seconds", obs.DurationBuckets)
+	mDedup2SIUSec   = obs.GetHistogram("server_dedup2_siu_seconds", obs.DurationBuckets)
+	mRestoreStreams = obs.GetCounter("server_restore_streams_total")
+	mBytesOut       = obs.GetCounter("server_restore_bytes_out_total")
+	mRestoreStalls  = obs.GetCounter("server_restore_window_stalls_total")
 )
 
 // Config sizes a backup server.
@@ -99,6 +126,13 @@ type Config struct {
 	// "siu-done" after the index writes). Fault-injection tests use it to
 	// snapshot or kill the store between stages; production leaves it nil.
 	Dedup2StageHook func(stage string)
+
+	// Logger receives the server's structured log events (connection
+	// lifecycle at debug, session resume and dedup-2 summaries at info,
+	// reaped sessions and dropped close errors at warn, read-only
+	// latching at error). Nil uses slog.Default(), which the daemon
+	// binaries configure from -log-level/-log-json.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -254,6 +288,7 @@ type Server struct {
 	chunk    *tpds.ChunkStore
 	restorer *tpds.Restorer // internally synchronised
 	storage  *store.Engine  // nil for in-memory servers
+	slog     *slog.Logger
 }
 
 // New builds a backup server. By default every store is in-memory (tests,
@@ -311,6 +346,11 @@ func New(cfg Config) (*Server, error) {
 	for _, f := range pending {
 		loggedFP[f] = struct{}{}
 	}
+	lg := cfg.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	mPendingFPs.Set(int64(len(pending)))
 	return &Server{
 		cfg:      cfg,
 		sessions: make(map[uint64]*session),
@@ -321,6 +361,7 @@ func New(cfg Config) (*Server, error) {
 		pending:  pending,
 		loggedFP: loggedFP,
 		storage:  eng,
+		slog:     lg,
 	}, nil
 }
 
@@ -362,6 +403,8 @@ func (s *Server) Serve(addr string) (string, error) {
 				conn.Close() // raced with Close
 				return
 			}
+			mConnsAccepted.Inc()
+			s.slog.Debug("connection accepted", "remote", c.RemoteAddr().String())
 			go s.handle(conn)
 		}
 	}()
@@ -378,6 +421,7 @@ func (s *Server) track(conn *proto.Conn) bool {
 	}
 	s.conns[conn] = struct{}{}
 	s.handlers.Add(1)
+	mConnsActive.Add(1)
 	return true
 }
 
@@ -386,6 +430,7 @@ func (s *Server) untrack(conn *proto.Conn) {
 	s.mu.Lock()
 	delete(s.conns, conn)
 	s.mu.Unlock()
+	mConnsActive.Add(-1)
 	s.handlers.Done()
 }
 
@@ -578,9 +623,13 @@ func (s *Server) handle(conn *proto.Conn) {
 	}()
 	// Exit path (runs before the reclaim above): close the conn first —
 	// failing a Recv the reader is blocked in — then drain frames so a
-	// reader stuck sending a decoded frame can finish and exit.
+	// reader stuck sending a decoded frame can finish and exit. A close
+	// error here used to be discarded; it can be the only evidence of an
+	// unflushed failure on the connection, so it is logged.
 	defer func() {
-		conn.Close()
+		if err := conn.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			s.slog.Warn("connection close failed", "sessions", st.sess, "err", err)
+		}
 		for range frames {
 		}
 	}()
@@ -748,11 +797,20 @@ func (s *Server) reclaimSessions(st *connState) {
 		sess.mu.Unlock()
 		s.pendMu.Lock()
 		s.pending = append(s.pending, und...)
+		mPendingFPs.Set(int64(len(s.pending)))
 		s.pendMu.Unlock()
 		s.mu.Lock()
 		delete(s.sessions, id)
 		s.sessEpoch++
 		s.mu.Unlock()
+		mSessionsReaped.Inc()
+		mSessionsActive.Add(-1)
+		// The reaper used to be silent: a vanished client's session
+		// disappearing (idle deadline, cut link) is exactly the event an
+		// operator needs context for.
+		s.slog.Warn("session reclaimed",
+			"session", id, "job", sess.jobName, "run", sess.runID,
+			"reclaimed_fps", len(und))
 	}
 }
 
@@ -783,6 +841,16 @@ func (s *Server) dispatch(msg any, st *connState) (any, error) {
 // write fault; clients surface it without retrying.
 func readOnlyRefusal(cause error) *proto.RemoteError {
 	return &proto.RemoteError{Code: proto.CodeReadOnly, Msg: "server: store is read-only: " + cause.Error()}
+}
+
+// latchFault flips the durable store read-only after a write fault and
+// logs the degradation (once — Fail itself is first-fault-wins, so a
+// repeat latch with the mode already set stays quiet).
+func (s *Server) latchFault(err error) {
+	if s.storage.ReadOnlyErr() == nil {
+		s.slog.Error("store latched read-only, refusing further writes", "err", err)
+	}
+	s.storage.Fail(err)
 }
 
 func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
@@ -835,7 +903,6 @@ func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.nextSess++
 	s.sessEpoch++
 	sess := &session{
@@ -846,6 +913,18 @@ func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
 	}
 	s.sessions[sess.id] = sess
 	st.sess = append(st.sess, sess.id)
+	s.mu.Unlock()
+	mSessionsOpened.Inc()
+	mSessionsActive.Add(1)
+	if len(primed) > 0 {
+		// The session starts primed with undetermined fingerprints from an
+		// earlier interrupted run: effectively a resume — the client will
+		// get "don't transfer" for everything already logged.
+		s.slog.Info("session resumed with primed fingerprints",
+			"session", sess.id, "job", m.JobName, "client", m.Client, "primed_fps", len(primed))
+	} else {
+		s.slog.Debug("session opened", "session", sess.id, "job", m.JobName, "client", m.Client)
+	}
 	return proto.BackupStartOK{SessionID: sess.id}, nil
 }
 
@@ -886,8 +965,8 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 		return nil, errors.New("server: FPBatch lengths differ")
 	}
 	need := make([]bool, len(m.FPs))
+	var hits, misses, logDups int64 // batch-local; one atomic add each below
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	for i, f := range m.FPs {
 		sess.logical += int64(m.Sizes[i])
 		sess.xfer += fp.Size + 1
@@ -898,17 +977,27 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 		// session's new-fingerprint accounting stays honest; the chunk
 		// reaches dedup-2 through the session that logged it.
 		if s.chunkLogged(f) {
+			logDups++
+			hits++
 			continue // need[i] stays false
 		}
 		tr, admitted := sess.filter.Test(f)
 		need[i] = tr
 		if tr {
+			misses++
 			sess.newFPs++
 			if !admitted {
 				sess.overflow = append(sess.overflow, f)
 			}
+		} else {
+			hits++
 		}
 	}
+	sess.mu.Unlock()
+	mFPBatches.Inc()
+	mPrefilterHits.Add(hits)
+	mPrefilterMiss.Add(misses)
+	mLoggedDupHits.Add(logDups)
 	return proto.FPVerdicts{Seq: m.Seq, Need: need}, nil
 }
 
@@ -957,7 +1046,7 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 			// acked is intact and restores keep serving. The client gets
 			// the typed refusal instead of a retry loop.
 			if s.storage != nil {
-				s.storage.Fail(err)
+				s.latchFault(err)
 				return nil, readOnlyRefusal(err)
 			}
 			return nil, err
@@ -966,6 +1055,8 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 		staged += int64(len(m.Data[i]))
 		appended = append(appended, f)
 	}
+	mChunkBatches.Inc()
+	mBytesIn.Add(batchBytes)
 	sess.mu.Lock()
 	sess.xfer += batchBytes
 	// Record which fingerprints have their bytes safely in the log: if
@@ -995,7 +1086,7 @@ func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
 					// The covering fsync failed: the batch is not durable
 					// and must not be acknowledged. Latch read-only and
 					// refuse, exactly as a failed append would.
-					s.storage.Fail(err)
+					s.latchFault(err)
 					return ackFromErr(readOnlyRefusal(err))
 				}
 				return proto.Ack{OK: true}
@@ -1067,7 +1158,7 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 		// zero-byte ticket waits for the next cumulative fsync, after
 		// which everything the run references is on disk.
 		if err := s.storage.WALTicket(0).Wait(); err != nil {
-			s.storage.Fail(err)
+			s.latchFault(err)
 			return nil, readOnlyRefusal(err)
 		}
 	}
@@ -1090,12 +1181,18 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 
 	s.pendMu.Lock()
 	s.pending = append(s.pending, und...)
+	mPendingFPs.Set(int64(len(s.pending)))
 	s.pendMu.Unlock()
 
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
 	s.sessEpoch++
 	s.mu.Unlock()
+	mSessionsActive.Add(-1)
+	s.slog.Debug("session completed",
+		"session", sess.id, "job", sess.jobName, "run", sess.runID,
+		"logical_bytes", done.LogicalBytes, "transferred_bytes", done.TransferredBytes,
+		"new_fps", done.NewFingerprints)
 	return done, nil
 }
 
@@ -1135,9 +1232,12 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	s.pendMu.Lock()
 	pending := s.pending
 	s.pending = nil
+	mPendingFPs.Set(0)
 	s.pendMu.Unlock()
 
+	silStart := time.Now()
 	res, unreg, err := s.chunk.RunSILAndStore(pending, s.log, s.cfg.CacheBits)
+	mDedup2SILSec.Since(silStart)
 	if err != nil {
 		// The log was not truncated, so the chunks are intact — but only
 		// reachable by a retry if their fingerprints stay pending.
@@ -1146,8 +1246,12 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		// while file recipes still reference the fingerprints.
 		s.pendMu.Lock()
 		s.pending = append(pending, s.pending...)
+		mPendingFPs.Set(int64(len(s.pending)))
 		s.pendMu.Unlock()
 		s.failOnDiskFault(err)
+		mDedup2Errors.Inc()
+		s.slog.Warn("dedup-2 SIL/store failed, pending fingerprints re-queued",
+			"pending_fps", len(pending), "err", err)
 		return proto.Dedup2Done{Err: err.Error()}, nil
 	}
 	if s.cfg.Dedup2StageHook != nil {
@@ -1163,6 +1267,7 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	}
 	s.pendMu.Unlock()
 	if runSIU {
+		siuStart := time.Now()
 		if _, err := s.chunk.RunSIU(toUpdate); err != nil {
 			// Keep the entries for the next SIU attempt; a partial SIU is
 			// safe to retry (the window path tolerates re-inserting an
@@ -1171,8 +1276,12 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 			s.unreg = append(toUpdate, s.unreg...)
 			s.pendMu.Unlock()
 			s.failOnDiskFault(err)
+			mDedup2Errors.Inc()
+			s.slog.Warn("dedup-2 SIU failed, unregistered entries re-queued",
+				"entries", len(toUpdate), "err", err)
 			return proto.Dedup2Done{Err: err.Error()}, nil
 		}
+		mDedup2SIUSec.Since(siuStart)
 		if s.cfg.Dedup2StageHook != nil {
 			s.cfg.Dedup2StageHook("siu-done")
 		}
@@ -1183,6 +1292,8 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 		// rebuilding it from container metadata.
 		if err := s.storage.Checkpoint(); err != nil {
 			s.failOnDiskFault(err)
+			mDedup2Errors.Inc()
+			s.slog.Warn("dedup-2 checkpoint failed", "err", err)
 			return proto.Dedup2Done{Err: err.Error()}, nil
 		}
 	}
@@ -1215,8 +1326,17 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 	}
 	s.mu.Unlock()
 	if resetErr != nil {
+		mDedup2Errors.Inc()
+		s.slog.Warn("dedup-2 log truncation failed", "err", resetErr)
 		return proto.Dedup2Done{Err: resetErr.Error()}, nil
 	}
+	mDedup2Passes.Inc()
+	s.slog.Info("dedup-2 pass complete",
+		"undetermined_fps", len(pending),
+		"new_chunks", res.Store.NewChunks,
+		"dup_chunks", res.IndexDups+res.Store.DupChunks+res.CheckingDups,
+		"containers", res.Store.Containers,
+		"siu_ran", runSIU, "log_truncated", quiet && (runSIU || s.storage == nil))
 	return proto.Dedup2Done{
 		NewChunks:  res.Store.NewChunks,
 		DupChunks:  res.IndexDups + res.Store.DupChunks + res.CheckingDups,
@@ -1230,7 +1350,7 @@ func (s *Server) runDedup2(m proto.Dedup2Request) (any, error) {
 // reachable for a pass after the operator intervenes.
 func (s *Server) failOnDiskFault(err error) {
 	if s.storage != nil && errors.Is(err, syscall.ENOSPC) {
-		s.storage.Fail(err)
+		s.latchFault(err)
 	}
 }
 
@@ -1319,6 +1439,7 @@ func (s *Server) streamRestore(conn *proto.Conn, frames <-chan any, jfc *jobFile
 	if err := conn.Send(proto.RestoreBegin{Entry: e, BatchChunks: batch, Window: window, StartChunk: m.StartChunk}); err != nil {
 		return err
 	}
+	mRestoreStreams.Inc()
 
 	var (
 		seq       uint64 // next batch sequence number
@@ -1366,6 +1487,13 @@ func (s *Server) streamRestore(conn *proto.Conn, frames <-chan any, jfc *jobFile
 		if len(data) == 0 {
 			return nil
 		}
+		// The stream is out of restore credits: the client's window is
+		// full and the server blocks until an ack arrives. A high stall
+		// count against restore throughput says the window (or the
+		// client's ack cadence) is the bottleneck, not the chunk reads.
+		if seq-acked >= uint64(window) {
+			mRestoreStalls.Inc()
+		}
 		for seq-acked >= uint64(window) {
 			if err := recvAck(); err != nil {
 				return err
@@ -1376,6 +1504,7 @@ func (s *Server) streamRestore(conn *proto.Conn, frames <-chan any, jfc *jobFile
 		}
 		seq++
 		chunks += int64(len(data))
+		mBytesOut.Add(int64(dataBytes))
 		data, dataBytes = data[:0], 0
 		return nil
 	}

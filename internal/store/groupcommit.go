@@ -3,6 +3,8 @@ package store
 import (
 	"sync"
 	"time"
+
+	"debar/internal/obs"
 )
 
 // Group commit: one flusher goroutine coalesces fsyncs across every
@@ -41,6 +43,8 @@ const (
 // commitWindow is one group of staged writes released by a single sync.
 type commitWindow struct {
 	bytes    int64
+	writers  int64         // Enqueue calls that joined the window
+	opened   time.Time     // first Enqueue (zero when unmetered)
 	full     chan struct{} // closed when bytes crosses the window cap
 	fullOnce sync.Once
 	done     chan struct{} // closed when the window's sync completed
@@ -102,12 +106,30 @@ type Committer struct {
 	hold     time.Duration // max time the flusher holds a window open
 	maxBytes int64         // staged bytes that flush a window early
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	cur      *commitWindow
-	flushing bool
-	closed   bool
-	syncs    int64 // completed sync calls (stats, tests)
+	mu          sync.Mutex
+	cond        *sync.Cond
+	cur         *commitWindow
+	flushing    bool
+	closed      bool
+	syncs       int64     // completed sync calls (stats, tests)
+	lastArrival time.Time // previous Enqueue (inter-arrival metering)
+
+	// Arrival-rate and coalescing metrics, nil on unnamed committers
+	// (obs methods are nil-safe). These are the measurement half of the
+	// ROADMAP's adaptive commit-hold follow-up: windowWriters and
+	// windowBytes show how wide coalescing actually gets, interarrival
+	// against the hold says whether the hold is doing anything, and
+	// holdOccupancy (window open time over the configured hold) shows
+	// whether windows close on the byte cap, the timer, or flusher
+	// backpressure (occupancy > 1).
+	mEnqueues      *obs.Counter
+	mWindows       *obs.Counter
+	mWindowsFull   *obs.Counter
+	mWindowBytes   *obs.Histogram
+	mWindowWriters *obs.Histogram
+	mInterarrival  *obs.Histogram
+	mHoldOccupancy *obs.Histogram
+	mSyncSeconds   *obs.Histogram
 }
 
 // NewCommitter builds a scheduler over syncFn. hold and maxBytes follow
@@ -125,6 +147,24 @@ func NewCommitter(syncFn func() error, hold time.Duration, maxBytes int64) *Comm
 	return c
 }
 
+// NewNamedCommitter is NewCommitter plus metrics: the committer
+// registers its series under store_commit_<name>_* in the process
+// registry. The engine names its two schedulers "wal" and "repo";
+// unnamed committers (NewCommitter) record nothing.
+func NewNamedCommitter(name string, syncFn func() error, hold time.Duration, maxBytes int64) *Committer {
+	c := NewCommitter(syncFn, hold, maxBytes)
+	p := "store_commit_" + name + "_"
+	c.mEnqueues = obs.GetCounter(p + "enqueues_total")
+	c.mWindows = obs.GetCounter(p + "windows_total")
+	c.mWindowsFull = obs.GetCounter(p + "windows_full_total")
+	c.mWindowBytes = obs.GetHistogram(p+"window_bytes", obs.SizeBuckets)
+	c.mWindowWriters = obs.GetHistogram(p+"window_writers", obs.CountBuckets)
+	c.mInterarrival = obs.GetHistogram(p+"interarrival_seconds", obs.DurationBuckets)
+	c.mHoldOccupancy = obs.GetHistogram(p+"hold_occupancy", obs.ExpBuckets(0.0625, 2, 12))
+	c.mSyncSeconds = obs.GetHistogram(p+"sync_seconds", obs.DurationBuckets)
+	return c
+}
+
 // Enqueue stages n bytes into the current window and returns a Ticket
 // the caller can Wait on. The bytes themselves must already be written
 // (buffered) by the caller; Enqueue never blocks on I/O. After Close,
@@ -136,9 +176,20 @@ func (c *Committer) Enqueue(n int64) Ticket {
 	if c.closed {
 		return Ticket{}
 	}
+	if c.mEnqueues != nil {
+		c.mEnqueues.Inc()
+		now := time.Now()
+		if !c.lastArrival.IsZero() {
+			c.mInterarrival.Observe(now.Sub(c.lastArrival).Seconds())
+		}
+		c.lastArrival = now
+	}
 	w := c.cur
 	if w == nil {
 		w = &commitWindow{full: make(chan struct{}), done: make(chan struct{})}
+		if c.mEnqueues != nil {
+			w.opened = c.lastArrival
+		}
 		c.cur = w
 		if !c.flushing {
 			c.flushing = true
@@ -146,6 +197,7 @@ func (c *Committer) Enqueue(n int64) Ticket {
 		}
 	}
 	w.bytes += n
+	w.writers++
 	if c.maxBytes > 0 && w.bytes >= c.maxBytes {
 		w.fill()
 	}
@@ -187,7 +239,27 @@ func (c *Committer) flushLoop() {
 		c.cur = nil // detach: later Enqueues open a fresh window
 		c.mu.Unlock()
 
+		if c.mWindows != nil {
+			c.mWindowBytes.Observe(float64(w.bytes))
+			c.mWindowWriters.Observe(float64(w.writers))
+			if !w.opened.IsZero() && c.hold > 0 {
+				// Window lifetime over the configured hold: ~1 means the
+				// timer closed it, <1 the byte cap, >1 flusher backlog.
+				c.mHoldOccupancy.Observe(time.Since(w.opened).Seconds() / c.hold.Seconds())
+			}
+			select {
+			case <-w.full:
+				c.mWindowsFull.Inc()
+			default:
+			}
+		}
+
+		start := time.Now()
 		w.err = c.syncFn()
+		if c.mWindows != nil {
+			c.mWindows.Inc()
+			c.mSyncSeconds.Since(start)
+		}
 		c.mu.Lock()
 		c.syncs++
 		c.mu.Unlock()

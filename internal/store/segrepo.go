@@ -14,6 +14,15 @@ import (
 	"debar/internal/container"
 	"debar/internal/fp"
 	"debar/internal/fsx"
+	"debar/internal/obs"
+)
+
+// Container-log metrics: append volume and segment rotations (each
+// rotation is a seal + fsync + directory sync on the append path).
+var (
+	mRepoAppends      = obs.GetCounter("store_container_appends_total")
+	mRepoAppendBytes  = obs.GetCounter("store_container_append_bytes_total")
+	mSegmentRotations = obs.GetCounter("store_segment_rotations_total")
 )
 
 // SegRepo is the durable chunk repository: a container log split into
@@ -361,6 +370,7 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 		if err := r.addSegmentSized(len(r.segs), frameLen); err != nil {
 			return 0, err
 		}
+		mSegmentRotations.Inc()
 	}
 	seg := r.active()
 	if r.prealloc > 0 && r.end+frameLen > r.preallocTo {
@@ -396,6 +406,8 @@ func (r *SegRepo) Append(c *container.Container) (fp.ContainerID, error) {
 	seg.size = r.end
 	r.bytes += stored.DataBytes()
 	r.next++
+	mRepoAppends.Inc()
+	mRepoAppendBytes.Add(frameLen)
 	return id, nil
 }
 

@@ -36,6 +36,7 @@ import (
 	"debar/internal/container"
 	"debar/internal/diskindex"
 	"debar/internal/fp"
+	"debar/internal/obs"
 )
 
 // FormatVersion is the on-disk format this engine reads and writes.
@@ -137,9 +138,14 @@ func (e *Engine) Fail(err error) {
 	e.roMu.Lock()
 	if e.roErr == nil {
 		e.roErr = err
+		mReadOnlyLatched.Inc()
 	}
 	e.roMu.Unlock()
 }
+
+// mReadOnlyLatched counts engines latching read-only after a write
+// fault — any non-zero value here is an operator page.
+var mReadOnlyLatched = obs.GetCounter("store_readonly_latched_total")
 
 // ReadOnlyErr returns the write fault that switched the engine read-only,
 // or nil when the engine accepts writes.
@@ -208,8 +214,8 @@ func Open(dir string, o Options) (*Engine, error) {
 		// appends stage instead of fsyncing inline. Checkpoint remains
 		// the durability barrier both schedulers are flushed through.
 		e.wal.SetExternalSync()
-		e.walGC = NewCommitter(e.wal.Sync, o.CommitHold, o.CommitMaxBytes)
-		e.repoGC = NewCommitter(e.repo.syncActive, o.CommitHold, o.CommitMaxBytes)
+		e.walGC = NewNamedCommitter("wal", e.wal.Sync, o.CommitHold, o.CommitMaxBytes)
+		e.repoGC = NewNamedCommitter("repo", e.repo.syncActive, o.CommitHold, o.CommitMaxBytes)
 		e.repo.SetGroupCommit(e.repoGC)
 	}
 	if err := e.openIndex(); err != nil {

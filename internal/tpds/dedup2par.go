@@ -20,12 +20,26 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"debar/internal/chunklog"
 	"debar/internal/container"
 	"debar/internal/diskindex"
 	"debar/internal/fp"
 	"debar/internal/indexcache"
+	"debar/internal/obs"
+)
+
+// Per-region wall-clock latencies of the three dedup-2 stages each SIL
+// worker runs: the sequential index scan, container packing from the
+// log snapshot, and the in-turn repository commit (which includes the
+// wait for the region's commit turn — a wide gap between pack and
+// commit distributions means the commit chain, not the scans, paces
+// the pass).
+var (
+	mRegionScanSec   = obs.GetHistogram("dedup2_region_scan_seconds", obs.DurationBuckets)
+	mRegionPackSec   = obs.GetHistogram("dedup2_region_pack_seconds", obs.DurationBuckets)
+	mRegionCommitSec = obs.GetHistogram("dedup2_region_commit_seconds", obs.DurationBuckets)
 )
 
 // SILRegion performs the sequential index lookup over one index region: it
@@ -204,7 +218,9 @@ func (cs *ChunkStore) runRegion(idx int, region diskindex.Region, shard *indexca
 		return r
 	}
 
+	scanStart := time.Now()
 	dups, err := SILRegion(cs.Index, region, shard, cs.ScanBuckets)
+	mRegionScanSec.Since(scanStart)
 	if err != nil {
 		return fail(fmt.Errorf("tpds: SIL region %d [%d,%d): %w", idx, region.Start, region.End, err))
 	}
@@ -223,6 +239,7 @@ func (cs *ChunkStore) runRegion(idx int, region diskindex.Region, shard *indexca
 	// committed later, because container IDs must be assigned in region
 	// order to stay deterministic.
 	var staged []stagedContainer
+	packStart := time.Now()
 	r.store, err = packChunks(view.Iterate,
 		func(f fp.FP) bool { return region.Contains(cs.Index.BucketOf(f)) },
 		shard, cs.ContainerSize, cs.MetaOnly, false,
@@ -230,12 +247,14 @@ func (cs *ChunkStore) runRegion(idx int, region diskindex.Region, shard *indexca
 			staged = append(staged, stagedContainer{c: c, fps: fps})
 			return nil
 		})
+	mRegionPackSec.Since(packStart)
 	if err != nil {
 		return fail(fmt.Errorf("tpds: chunk storing region %d: %w", idx, err))
 	}
 
 	// Commit: wait for the region's turn, then append in seal order. The
 	// repository sees one ordered append stream across all regions.
+	commitStart := time.Now()
 	<-turn
 	if failed.Load() {
 		return r // pass already doomed: do not strand containers
@@ -243,12 +262,14 @@ func (cs *ChunkStore) runRegion(idx int, region diskindex.Region, shard *indexca
 	for _, sc := range staged {
 		id, err := cs.Repo.Append(sc.c)
 		if err != nil {
+			mRegionCommitSec.Since(commitStart)
 			return fail(fmt.Errorf("tpds: committing region %d containers: %w", idx, err))
 		}
 		for _, f := range sc.fps {
 			shard.SetCID(f, id)
 		}
 	}
+	mRegionCommitSec.Since(commitStart)
 
 	// Unregistered entries of this region, sorted by home bucket for the
 	// concatenated SIU run.

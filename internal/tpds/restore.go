@@ -8,6 +8,16 @@ import (
 	"debar/internal/diskindex"
 	"debar/internal/fp"
 	"debar/internal/lpc"
+	"debar/internal/obs"
+)
+
+// Restore-path metrics: LPC effectiveness in counter form (chunks
+// served vs index lookups the cache could not avoid vs whole-container
+// loads). lpc_hit_rate ≈ 1 - restore_index_lookups/restore_chunks.
+var (
+	mRestoreChunks       = obs.GetCounter("server_restore_chunks_total")
+	mRestoreIndexLookups = obs.GetCounter("server_restore_index_lookups_total")
+	mRestoreLoads        = obs.GetCounter("server_restore_container_loads_total")
 )
 
 // Restorer is the Chunk Store's retrieval path (§3.3): look in the LPC
@@ -51,6 +61,7 @@ func NewRestorer(ix *diskindex.Index, repo container.Repository, capContainers i
 // slice aliases the container's storage (cache or mmap) and stays valid
 // until the backing repository is closed; callers must not modify it.
 func (r *Restorer) Chunk(f fp.FP) ([]byte, error) {
+	mRestoreChunks.Inc()
 	r.mu.Lock()
 	r.chunksServed++
 	for {
@@ -66,6 +77,7 @@ func (r *Restorer) Chunk(f fp.FP) ([]byte, error) {
 				return nil, fmt.Errorf("tpds: restore of %v: %w", f.Short(), err)
 			}
 			cid = id
+			mRestoreIndexLookups.Inc()
 			r.mu.Lock()
 			r.indexLookups++
 			// Re-check after the unlocked index lookup: a concurrent
@@ -88,6 +100,7 @@ func (r *Restorer) Chunk(f fp.FP) ([]byte, error) {
 		r.loading[cid] = ch
 		r.mu.Unlock()
 
+		mRestoreLoads.Inc()
 		c, err := r.Repo.Load(cid) // repository-synchronised; zero-copy when mmap'd
 		r.mu.Lock()
 		delete(r.loading, cid)

@@ -1,0 +1,38 @@
+package debar
+
+import (
+	"os"
+	"testing"
+
+	"debar/internal/obs"
+)
+
+// TestMain lets CI capture the process-global metric registry after a
+// benchmark run: when DEBAR_METRICS_OUT names a file, the final obs
+// snapshot — every counter and histogram the benchmarks drove — is
+// written there as JSON, next to the benchmark output it explains.
+// Unset, tests behave exactly as without a TestMain.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("DEBAR_METRICS_OUT"); path != "" {
+		if err := writeMetricsSnapshot(path); err != nil {
+			os.Stderr.WriteString("metrics capture: " + err.Error() + "\n")
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+func writeMetricsSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

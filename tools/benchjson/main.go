@@ -34,6 +34,24 @@
 //
 // Every benchmark whose name contains "/durable" is paired with its
 // "/mem" counterpart and the ratio of their MB/s figures is reported.
+//
+// With -metrics the parse path embeds an obs metrics snapshot (the
+// /metrics.json shape, e.g. captured via DEBAR_METRICS_OUT) flattened
+// into the document's top-level metrics map, tying counter movements to
+// the benchmark run that caused them:
+//
+//	DEBAR_METRICS_OUT=metrics.json go test -run - -bench . ./... \
+//	  | go run ./tools/benchjson -metrics metrics.json > BENCH_ci.json
+//
+// Documents written before the field existed simply lack it; -diff and
+// -summary treat a missing metrics map as "nothing captured", never as
+// an error, so old artifacts keep working.
+//
+// With -coalesce it reads one metrics snapshot and prints the WAL
+// group-commit health summary (fsync-coalescing ratio, arrival-rate
+// averages) for a CI job log:
+//
+//	go run ./tools/benchjson -coalesce metrics.json
 package main
 
 import (
@@ -47,6 +65,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"debar/internal/obs"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -71,13 +91,33 @@ type Report struct {
 	Commit     string      `json:"commit,omitempty"`
 	Ref        string      `json:"ref,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// Metrics is the flattened obs snapshot captured alongside the run
+	// (-metrics). Absent from older artifacts; consumers must treat a
+	// nil map as "nothing captured".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
 	diff := flag.Bool("diff", false, "compare two benchjson documents instead of parsing bench output")
 	maxRegress := flag.Float64("max-regress", 0.15, "with -diff: maximum tolerated fractional MB/s drop before failing")
 	summary := flag.Bool("summary", false, "render one benchjson document as a durable-vs-mem Markdown summary")
+	metricsPath := flag.String("metrics", "", "obs metrics snapshot (JSON) to flatten into the document's metrics map")
+	coalesce := flag.Bool("coalesce", false, "print the WAL group-commit health summary of one metrics snapshot")
 	flag.Parse()
+
+	if *coalesce {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -coalesce metrics.json")
+			os.Exit(2)
+		}
+		metrics, err := loadMetrics(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		coalesceSummary(metrics, os.Stdout)
+		return
+	}
 
 	if *summary {
 		if flag.NArg() != 1 {
@@ -113,6 +153,14 @@ func main() {
 		GoVersion: runtime.Version(),
 		Commit:    os.Getenv("GITHUB_SHA"),
 		Ref:       os.Getenv("GITHUB_REF"),
+	}
+	if *metricsPath != "" {
+		metrics, err := loadMetrics(*metricsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Metrics = metrics
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -224,6 +272,16 @@ func diffReports(oldPath, newPath string, maxRegress float64, w io.Writer) (regr
 			fmt.Fprintf(w, "GONE     %s: present in baseline only\n", b.Name)
 		}
 	}
+	// Captured metrics ride along informationally: the coalescing ratio
+	// is printed when present and silently skipped when either document
+	// predates the metrics field.
+	if r := coalesceRatio(newRep.Metrics); r > 0 {
+		if or := coalesceRatio(oldRep.Metrics); or > 0 {
+			fmt.Fprintf(w, "METRICS  wal fsync coalescing: %.2f → %.2f appends/fsync\n", or, r)
+		} else {
+			fmt.Fprintf(w, "METRICS  wal fsync coalescing: %.2f appends/fsync (no baseline metrics)\n", r)
+		}
+	}
 	if regressed {
 		fmt.Fprintf(w, "FAIL: throughput regressed beyond %.0f%% tolerated, or a throughput metric vanished\n", 100*maxRegress)
 	}
@@ -272,6 +330,60 @@ func summarize(path string, w io.Writer) error {
 		fmt.Fprintln(w, "| _no /durable benchmarks in report_ | | | |")
 	}
 	return nil
+}
+
+// loadMetrics reads an obs metrics snapshot (the /metrics.json and
+// DEBAR_METRICS_OUT shape) and flattens it: counters and gauges by
+// name, histograms as <name>_count and <name>_sum.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s.Flatten(), nil
+}
+
+// coalesceRatio returns WAL appends per fsync from a flattened metrics
+// map, or 0 when the group-commit series are absent (old artifact, or a
+// run that never touched the durable store).
+func coalesceRatio(m map[string]float64) float64 {
+	windows := m["store_commit_wal_windows_total"]
+	if windows <= 0 {
+		return 0
+	}
+	return m["store_commit_wal_enqueues_total"] / windows
+}
+
+// coalesceSummary prints the WAL group-commit health lines for a CI job
+// log: the fsync-coalescing ratio, then the arrival-rate averages
+// (writers and bytes per window, inter-arrival gap, hold occupancy)
+// when the histograms were captured.
+func coalesceSummary(m map[string]float64, w io.Writer) {
+	r := coalesceRatio(m)
+	if r == 0 {
+		fmt.Fprintln(w, "fsync coalescing: no WAL group-commit activity in this snapshot")
+		return
+	}
+	fmt.Fprintf(w, "fsync coalescing: %.0f appends over %.0f fsyncs = %.2f appends/fsync\n",
+		m["store_commit_wal_enqueues_total"], m["store_commit_wal_windows_total"], r)
+	avg := func(name string) (float64, bool) {
+		count := m[name+"_count"]
+		if count <= 0 {
+			return 0, false
+		}
+		return m[name+"_sum"] / count, true
+	}
+	if writers, ok := avg("store_commit_wal_window_writers"); ok {
+		bytes, _ := avg("store_commit_wal_window_bytes")
+		gap, _ := avg("store_commit_wal_interarrival_seconds")
+		occupancy, _ := avg("store_commit_wal_hold_occupancy")
+		fmt.Fprintf(w, "group commit: avg %.1f writers/window, %.0f bytes/window, %.1fµs inter-arrival, %.2fx hold occupancy\n",
+			writers, bytes, gap*1e6, occupancy)
+	}
 }
 
 // parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line.

@@ -176,6 +176,118 @@ func TestDiffEmptyReports(t *testing.T) {
 	}
 }
 
+// TestMetricsFieldCompat: the top-level metrics map is optional — old
+// artifacts without it load with a nil map, diff against metrics-bearing
+// documents without error, and only metrics-bearing documents produce
+// the METRICS line.
+func TestMetricsFieldCompat(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", map[string]float64{"BenchmarkBackup": 200})
+
+	// Sanity: the on-disk baseline really has no metrics key.
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "metrics") {
+		t.Fatalf("baseline unexpectedly mentions metrics: %s", data)
+	}
+
+	withMetrics := Report{Schema: "debar-bench/v1",
+		Benchmarks: []Benchmark{{Name: "BenchmarkBackup", Iterations: 1, MBPerS: 195}},
+		Metrics: map[string]float64{
+			"store_commit_wal_enqueues_total": 1000,
+			"store_commit_wal_windows_total":  125,
+		},
+	}
+	newPath := filepath.Join(dir, "new.json")
+	blob, err := json.Marshal(withMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	regressed, err := diffReports(oldPath, newPath, 0.15, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("diff regressed:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "8.00 appends/fsync (no baseline metrics)") {
+		t.Fatalf("coalescing ratio missing or wrong:\n%s", out.String())
+	}
+
+	// Both directions without metrics: no METRICS line, no error.
+	out.Reset()
+	if _, err := diffReports(oldPath, oldPath, 0.15, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "METRICS") {
+		t.Fatalf("metrics-free diff produced a METRICS line:\n%s", out.String())
+	}
+
+	// Metrics on both sides: the ratio comparison line.
+	out.Reset()
+	if _, err := diffReports(newPath, newPath, 0.15, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "8.00 → 8.00 appends/fsync") {
+		t.Fatalf("ratio comparison missing:\n%s", out.String())
+	}
+}
+
+// TestCoalesceSummary: the -coalesce report reads the obs snapshot
+// shape (not the flattened form) and averages the arrival histograms;
+// a snapshot without group-commit series degrades to a one-line note.
+func TestCoalesceSummary(t *testing.T) {
+	dir := t.TempDir()
+	snap := `{
+		"counters": {
+			"store_commit_wal_enqueues_total": 600,
+			"store_commit_wal_windows_total": 100
+		},
+		"gauges": {},
+		"histograms": {
+			"store_commit_wal_window_writers": {"count": 100, "sum": 600, "buckets": []},
+			"store_commit_wal_window_bytes": {"count": 100, "sum": 4096000, "buckets": []},
+			"store_commit_wal_interarrival_seconds": {"count": 600, "sum": 0.06, "buckets": []},
+			"store_commit_wal_hold_occupancy": {"count": 100, "sum": 95, "buckets": []}
+		}
+	}`
+	path := filepath.Join(dir, "metrics.json")
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadMetrics(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	coalesceSummary(m, &out)
+	got := out.String()
+	for _, want := range []string{
+		"600 appends over 100 fsyncs = 6.00 appends/fsync",
+		"avg 6.0 writers/window",
+		"40960 bytes/window",
+		"100.0µs inter-arrival",
+		"0.95x hold occupancy",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("summary missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	coalesceSummary(map[string]float64{}, &out)
+	if !strings.Contains(out.String(), "no WAL group-commit activity") {
+		t.Fatalf("empty snapshot not handled:\n%s", out.String())
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	dir := t.TempDir()
 	path := writeReport(t, dir, "rep.json", map[string]float64{
