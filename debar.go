@@ -86,6 +86,30 @@
 // catalogued in internal/store/README.md. CI captures the snapshot of a
 // benchmark run via DEBAR_METRICS_OUT and embeds it in the BENCH_ci
 // artifact (tools/benchjson -metrics).
+//
+// # Static analysis
+//
+// The invariants above — fsync-before-Close on the durable write path,
+// mutex-guarded shared state, all network I/O behind the framed
+// deadline-aware transport, the layer_subsystem_name metric grammar, no
+// silently discarded storage errors — are mechanically enforced by
+// tools/debarvet, a vet-style analyzer suite built on the standard
+// library alone. It runs standalone:
+//
+//	go run ./tools/debarvet ./...
+//
+// or through cmd/go's incremental vet cache:
+//
+//	go build -o bin/debarvet ./tools/debarvet
+//	go vet -vettool=$PWD/bin/debarvet ./...
+//
+// CI's lint job runs the vettool form over the whole tree and fails on
+// any diagnostic. Shared fields declare their lock with a
+// "// guarded by mu" comment, caller-holds contracts with a
+// "debarvet:holds mu" doc line, and provably-safe findings are silenced
+// by a "//debarvet:ignore <analyzer> -- <reason>" directive whose reason
+// is mandatory. The analyzer catalogue and the full annotation grammar
+// are documented in tools/debarvet/README.md.
 package debar
 
 import (

@@ -36,33 +36,33 @@ const recordHeader = fp.Size + 4
 type Log struct {
 	mu       sync.Mutex
 	metaOnly bool
-	recs     []Record
-	bytes    int64 // payload bytes represented
+	recs     []Record // guarded by mu
+	bytes    int64    // guarded by mu; payload bytes represented
 	disk     *disksim.Disk
-	file     *os.File // non-nil for file-backed logs
+	file     *os.File // non-nil for file-backed logs; set once at open
 
 	// WAL mode (OpenWAL): checksummed record framing, batched fsync,
 	// torn-tail recovery. See wal.go.
 	crc       bool
-	end       int64 // append offset (WAL mode)
-	dirty     int   // bytes appended since the last completed fsync
+	end       int64 // guarded by mu; append offset (WAL mode)
+	dirty     int   // guarded by mu; bytes appended since the last completed fsync
 	syncBytes int   // fsync batching threshold (<0 disables fsync)
-	extSync   bool  // sync scheduling owned by an external group committer
+	extSync   bool  // guarded by mu; sync scheduling owned by an external group committer
 
 	// prealloc extends the file's allocation ahead of the append cursor
 	// in steps of this many bytes (0 disables), so in-step appends leave
 	// the inode size unchanged and a data-only sync skips the metadata
 	// journal. preallocTo is the extent already allocated.
-	prealloc   int64
-	preallocTo int64
+	prealloc   int64 // guarded by mu
+	preallocTo int64 // guarded by mu
 
 	// syncMu serialises Sync callers so the fsync itself runs outside mu
 	// — appends proceed while the disk flushes — without two syncers
 	// double-subtracting the same dirty bytes.
 	syncMu sync.Mutex
 
-	failFn     func() error // fault injection: non-nil error fails the append
-	syncFailFn func() error // fault injection: non-nil error fails Sync
+	failFn     func() error // guarded by mu; fault injection: non-nil error fails the append
+	syncFailFn func() error // guarded by mu; fault injection: non-nil error fails Sync
 }
 
 // SetFailFunc installs a fault-injection hook consulted before every
@@ -244,7 +244,9 @@ func (l *Log) Iterate(fn func(Record) error) error {
 	return nil
 }
 
-// Len returns the in-memory record count without locking (callers hold mu).
+// Len returns the in-memory record count without locking.
+//
+// debarvet:holds mu -- the caller holds l.mu.
 func (l *Log) Len() int { return len(l.recs) }
 
 func (l *Log) iterateFile(fn func(Record) error) error {
@@ -301,9 +303,12 @@ func (l *Log) Reset() error {
 // Close flushes batched appends and releases the backing file, if any.
 func (l *Log) Close() error {
 	if l.file != nil {
-		if l.crc && (l.syncBytes > 0 || l.extSync) {
+		if l.crc {
 			l.mu.Lock()
-			err := l.syncLocked()
+			var err error
+			if l.syncBytes > 0 || l.extSync {
+				err = l.syncLocked()
+			}
 			l.mu.Unlock()
 			if err != nil {
 				return err

@@ -9,7 +9,7 @@ import (
 // MemStore is a memory-backed Store for tests and experiments.
 type MemStore struct {
 	mu  sync.RWMutex
-	buf []byte
+	buf []byte // guarded by mu
 }
 
 // NewMemStore returns a MemStore pre-sized to size bytes.

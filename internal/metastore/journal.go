@@ -2,6 +2,7 @@ package metastore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -36,9 +37,9 @@ var journalCastagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 type journal struct {
 	mu    sync.Mutex
-	f     *os.File
-	end   int64
-	dirty int
+	f     *os.File // set once at open
+	end   int64    // guarded by mu
+	dirty int      // guarded by mu
 }
 
 // Open opens (creating if needed) a journaled store at path, replaying
@@ -49,14 +50,12 @@ func Open(path string, shards int) (*Store, error) {
 		return nil, fmt.Errorf("metastore: open journal: %w", err)
 	}
 	if err := lockJournal(f); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	s := New(shards)
 	j := &journal{f: f}
 	if err := j.replay(s); err != nil {
-		f.Close()
-		return nil, err
+		return nil, errors.Join(err, f.Close())
 	}
 	s.journal = j
 	return s, nil
@@ -64,6 +63,8 @@ func Open(path string, shards int) (*Store, error) {
 
 // replay applies the journal's longest valid prefix to s and truncates
 // anything after it.
+//
+//debarvet:ignore guardedby -- replay runs inside Open before the store is shared; no other goroutine exists yet
 func (j *journal) replay(s *Store) error {
 	st, err := j.f.Stat()
 	if err != nil {
@@ -169,8 +170,7 @@ func (j *journal) close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if err := j.syncLocked(); err != nil {
-		j.f.Close()
-		return err
+		return errors.Join(err, j.f.Close())
 	}
 	return j.f.Close()
 }

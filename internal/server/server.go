@@ -230,12 +230,12 @@ type session struct {
 	runID   uint64
 
 	mu       sync.Mutex
-	filter   *prefilter.Filter
-	overflow []fp.FP // new fingerprints the saturated filter couldn't hold
-	logged   []fp.FP // fingerprints whose chunk data landed in the chunk log
-	logical  int64
-	xfer     int64
-	newFPs   int64
+	filter   *prefilter.Filter // guarded by mu
+	overflow []fp.FP           // guarded by mu; new fingerprints the saturated filter couldn't hold
+	logged   []fp.FP           // guarded by mu; fingerprints whose chunk data landed in the chunk log
+	logical  int64             // guarded by mu
+	xfer     int64             // guarded by mu
+	newFPs   int64             // guarded by mu
 }
 
 // Server is one backup server.
@@ -252,20 +252,20 @@ type session struct {
 type Server struct {
 	cfg Config
 
-	mu        sync.Mutex // sessions, nextSess, sessEpoch, ln, conns, addr, serverID
-	sessions  map[uint64]*session
-	nextSess  uint64
-	sessEpoch uint64                   // bumped on every session start/end (quiet detection)
-	conns     map[*proto.Conn]struct{} // accepted, still-open connections
+	mu        sync.Mutex
+	sessions  map[uint64]*session      // guarded by mu
+	nextSess  uint64                   // guarded by mu
+	sessEpoch uint64                   // guarded by mu; bumped on every session start/end (quiet detection)
+	conns     map[*proto.Conn]struct{} // guarded by mu; accepted, still-open connections
 	handlers  sync.WaitGroup           // in-flight handle goroutines
-	ln        net.Listener
-	addr      string
-	serverID  int
-	closed    bool
+	ln        net.Listener             // guarded by mu
+	addr      string                   // guarded by mu
+	serverID  int                      // guarded by mu
+	closed    bool                     // guarded by mu
 
 	pendMu  sync.Mutex
-	pending []fp.FP // undetermined fingerprints awaiting dedup-2
-	unreg   []fp.Entry
+	pending []fp.FP    // guarded by pendMu; undetermined fingerprints awaiting dedup-2
+	unreg   []fp.Entry // guarded by pendMu
 
 	// loggedMu guards loggedFP: every fingerprint whose chunk bytes have
 	// landed in the chunk log since its last truncation, across all
@@ -276,7 +276,7 @@ type Server struct {
 	// group-commit fsync must push out. loggedMu is innermost: it is
 	// never held while acquiring another lock.
 	loggedMu sync.Mutex
-	loggedFP map[fp.FP]struct{}
+	loggedFP map[fp.FP]struct{} // guarded by loggedMu
 
 	// dedup2Mu serialises dedup-2 passes: SIU is a whole-index
 	// read-modify-write and overlapping passes would double-drain the
@@ -372,19 +372,22 @@ func (s *Server) Serve(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("server: listen: %w", err)
 	}
+	lnAddr := ln.Addr().String()
 	s.mu.Lock()
 	s.ln = ln
-	s.addr = ln.Addr().String()
+	s.addr = lnAddr
 	s.mu.Unlock()
 
 	if s.cfg.DirectorAddr != "" {
-		msg, err := s.directorCall(proto.RegisterServer{Addr: s.addr})
+		msg, err := s.directorCall(proto.RegisterServer{Addr: lnAddr})
 		if err != nil {
 			ln.Close()
 			return "", fmt.Errorf("server: registering with director: %w", err)
 		}
 		if ok, is := msg.(proto.RegisterOK); is {
+			s.mu.Lock()
 			s.serverID = ok.ServerID
+			s.mu.Unlock()
 		}
 	}
 
@@ -408,7 +411,7 @@ func (s *Server) Serve(addr string) (string, error) {
 			go s.handle(conn)
 		}
 	}()
-	return s.addr, nil
+	return lnAddr, nil
 }
 
 // track registers an accepted connection; it reports false once the

@@ -108,11 +108,11 @@ type Committer struct {
 
 	mu          sync.Mutex
 	cond        *sync.Cond
-	cur         *commitWindow
-	flushing    bool
-	closed      bool
-	syncs       int64     // completed sync calls (stats, tests)
-	lastArrival time.Time // previous Enqueue (inter-arrival metering)
+	cur         *commitWindow // guarded by mu
+	flushing    bool          // guarded by mu
+	closed      bool          // guarded by mu
+	syncs       int64         // guarded by mu; completed sync calls (stats, tests)
+	lastArrival time.Time     // guarded by mu; previous Enqueue (inter-arrival metering)
 
 	// Arrival-rate and coalescing metrics, nil on unnamed committers
 	// (obs methods are nil-safe). These are the measurement half of the

@@ -119,7 +119,7 @@ type Engine struct {
 	repoGC *Committer
 
 	roMu  sync.Mutex
-	roErr error // non-nil: engine is read-only (see Fail)
+	roErr error // guarded by roMu; non-nil: engine is read-only (see Fail)
 
 	closeOnce sync.Once
 	closeErr  error
@@ -185,24 +185,19 @@ func Open(dir string, o Options) (*Engine, error) {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	if err := lockFile(lock); err != nil {
-		lock.Close()
-		return nil, err
+		return nil, errors.Join(err, lock.Close())
 	}
 	man, err := loadOrCreateManifest(dir, o)
 	if err != nil {
-		lock.Close()
-		return nil, err
+		return nil, errors.Join(err, lock.Close())
 	}
 	e := &Engine{dir: dir, man: man, lock: lock}
 
 	if e.repo, err = OpenSegRepo(filepath.Join(dir, "containers"), man.SegmentBytes); err != nil {
-		lock.Close()
-		return nil, err
+		return nil, errors.Join(err, lock.Close())
 	}
 	if e.wal, e.pending, err = chunklog.OpenWAL(filepath.Join(dir, walName), o.WALSyncBytes); err != nil {
-		e.repo.Close()
-		lock.Close()
-		return nil, err
+		return nil, errors.Join(err, e.repo.Close(), lock.Close())
 	}
 	if o.PreallocBytes > 0 {
 		e.wal.SetPrealloc(o.PreallocBytes)
@@ -219,10 +214,7 @@ func Open(dir string, o Options) (*Engine, error) {
 		e.repo.SetGroupCommit(e.repoGC)
 	}
 	if err := e.openIndex(); err != nil {
-		e.wal.Close()
-		e.repo.Close()
-		lock.Close()
-		return nil, err
+		return nil, errors.Join(err, e.wal.Close(), e.repo.Close(), lock.Close())
 	}
 	return e, nil
 }
@@ -278,12 +270,10 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err
@@ -302,7 +292,7 @@ type trackedStore struct {
 	*diskindex.FileStore
 	marker string
 	mu     sync.Mutex
-	clean  bool
+	clean  bool // guarded by mu
 }
 
 func (t *trackedStore) invalidate() error {
@@ -381,8 +371,7 @@ func (e *Engine) openIndex() error {
 		e.ist = &trackedStore{FileStore: fs, marker: markerPath, clean: true}
 		ix, err := diskindex.New(e.ist, cfg, nil)
 		if err != nil {
-			fs.Close()
-			return err
+			return errors.Join(err, fs.Close())
 		}
 		ix.SetCount(count)
 		e.ix = ix
@@ -417,13 +406,11 @@ func (e *Engine) rebuildIndex() error {
 		return nil
 	})
 	if err != nil {
-		fs.Close()
-		return fmt.Errorf("store: walking containers for index rebuild: %w", err)
+		return errors.Join(fmt.Errorf("store: walking containers for index rebuild: %w", err), fs.Close())
 	}
 	ix, err := diskindex.Rebuild(e.ist, e.indexConfig(), entries)
 	if err != nil {
-		fs.Close()
-		return fmt.Errorf("store: index rebuild: %w", err)
+		return errors.Join(fmt.Errorf("store: index rebuild: %w", err), fs.Close())
 	}
 	e.ix = ix
 	e.rebuilt = true

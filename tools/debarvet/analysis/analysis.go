@@ -1,0 +1,150 @@
+// Package analysis is a self-contained, dependency-free miniature of
+// golang.org/x/tools/go/analysis: just enough framework to write and
+// drive debarvet's project-specific analyzers with nothing but the
+// standard library. The environment this repository builds in bakes in
+// the Go toolchain but no module proxy, so the real x/tools framework
+// (and its SSA-backed passes) is gated rather than required — see
+// tools/debarvet/README.md ("Relationship to x/tools").
+//
+// The shapes mirror x/tools deliberately: an Analyzer owns a name, doc
+// string and Run function; a Pass hands Run one type-checked package;
+// diagnostics are (position, message) pairs. Porting an analyzer to the
+// real framework is a mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// debarvet:ignore suppression directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description `debarvet -help` prints.
+	Doc string
+	// Packages restricts the analyzer to import paths with one of
+	// these prefixes. Empty means every package.
+	Packages []string
+	// SkipTests excludes _test.go files from the analyzer's view.
+	// The repo-invariant analyzers set this: tests intentionally use
+	// raw connections (chaos harnesses), unsynced temp files, and
+	// discarded cleanup errors.
+	SkipTests bool
+	// Run performs the check and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// AppliesTo reports whether the analyzer's package scope covers path.
+func (a *Analyzer) AppliesTo(path string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, p := range a.Packages {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Run applies every applicable analyzer to pkg and returns the surviving
+// diagnostics (suppression directives already honoured), ordered by
+// position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !a.AppliesTo(pkg.Path) {
+			continue
+		}
+		files := pkg.Files
+		if a.SkipTests {
+			files = withoutTests(pkg.Fset, files)
+			if len(files) == 0 {
+				continue
+			}
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range pass.diags {
+			if !sup.suppresses(a.Name, d.Pos) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+func withoutTests(fset *token.FileSet, files []*ast.File) []*ast.File {
+	kept := files[:0:0]
+	for _, f := range files {
+		if !strings.HasSuffix(fset.File(f.Pos()).Name(), "_test.go") {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}

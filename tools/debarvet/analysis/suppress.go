@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding that is provably safe can be silenced with a narrowly-scoped
+// directive comment:
+//
+//	//debarvet:ignore <name>[,<name>...] -- <reason>
+//
+// where each <name> is an analyzer name (or "all"). The reason is
+// mandatory: a directive without "-- reason" is malformed and suppresses
+// nothing, so an undocumented suppression leaves the diagnostic visible.
+// The directive covers:
+//
+//   - the line it sits on (trailing comment), or
+//   - the line directly below it (own-line comment), or
+//   - an entire function, when it appears in the function's doc comment.
+//
+// Function-scoped directives exist for constructor/recovery paths where
+// a structure has not escaped its creating goroutine yet and lock
+// annotations do not apply; prefer the line forms everywhere else.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps file -> line -> analyzer names suppressed on it.
+	byLine map[string]map[int]map[string]bool
+	// funcs maps file -> list of (start,end) line ranges with names.
+	funcs map[string][]funcSuppression
+}
+
+type funcSuppression struct {
+	start, end int
+	names      map[string]bool
+}
+
+const ignorePrefix = "debarvet:ignore "
+
+// parseDirective parses the text of one comment line. It returns the
+// suppressed analyzer set, or nil if the comment is not a well-formed
+// directive (including a directive missing its "-- reason").
+func parseDirective(text string) map[string]bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(text[len(ignorePrefix):])
+	names, reason, ok := strings.Cut(rest, "--")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return nil // reason is mandatory
+	}
+	set := make(map[string]bool)
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n != "" {
+			set[n] = true
+		}
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	return set
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		fset:   fset,
+		byLine: make(map[string]map[int]map[string]bool),
+		funcs:  make(map[string][]funcSuppression),
+	}
+	for _, f := range files {
+		fname := fset.File(f.Pos()).Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseDirective(c.Text)
+				if names == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				s.addLine(fname, line, names)
+				s.addLine(fname, line+1, names)
+			}
+		}
+		// Function-doc directives cover the whole function body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				names := parseDirective(c.Text)
+				if names == nil {
+					continue
+				}
+				s.funcs[fname] = append(s.funcs[fname], funcSuppression{
+					start: fset.Position(fd.Pos()).Line,
+					end:   fset.Position(fd.End()).Line,
+					names: names,
+				})
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) addLine(file string, line int, names map[string]bool) {
+	m := s.byLine[file]
+	if m == nil {
+		m = make(map[int]map[string]bool)
+		s.byLine[file] = m
+	}
+	set := m[line]
+	if set == nil {
+		set = make(map[string]bool)
+		m[line] = set
+	}
+	for n := range names {
+		set[n] = true
+	}
+}
+
+func (s *suppressions) suppresses(analyzer string, pos token.Position) bool {
+	if set := s.byLine[pos.Filename][pos.Line]; set[analyzer] || set["all"] {
+		return true
+	}
+	for _, fs := range s.funcs[pos.Filename] {
+		if pos.Line >= fs.start && pos.Line <= fs.end && (fs.names[analyzer] || fs.names["all"]) {
+			return true
+		}
+	}
+	return false
+}

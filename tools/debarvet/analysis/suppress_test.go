@@ -1,0 +1,44 @@
+package analysis
+
+import "testing"
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string // nil: not a (well-formed) directive
+	}{
+		{"//debarvet:ignore syncclose -- temp file never acked durable", []string{"syncclose"}},
+		{"// debarvet:ignore errdiscard, guardedby -- open path", []string{"errdiscard", "guardedby"}},
+		{"//debarvet:ignore all -- generated code", []string{"all"}},
+		// The reason is mandatory: these suppress nothing.
+		{"//debarvet:ignore syncclose", nil},
+		{"//debarvet:ignore syncclose --", nil},
+		{"//debarvet:ignore syncclose --   ", nil},
+		{"//debarvet:ignore -- reason with no names", nil},
+		// Not directives at all.
+		{"// just a comment", nil},
+		{"//debarvet:ignored syncclose -- typo in verb", nil},
+	}
+	for _, c := range cases {
+		got := parseDirective(c.text)
+		if c.want == nil {
+			if got != nil {
+				t.Errorf("parseDirective(%q) = %v, want nil", c.text, got)
+			}
+			continue
+		}
+		if got == nil {
+			t.Errorf("parseDirective(%q) = nil, want %v", c.text, c.want)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseDirective(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for _, name := range c.want {
+			if !got[name] {
+				t.Errorf("parseDirective(%q) missing %q", c.text, name)
+			}
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"debar/tools/debarvet/analysis"
+	"debar/tools/debarvet/analyzers"
+	"debar/tools/debarvet/vettest"
+)
+
+const src = "../testdata/src"
+
+// one selects a single analyzer by name so each fixture only answers for
+// the check under test.
+func one(t *testing.T, name string) []*analysis.Analyzer {
+	t.Helper()
+	for _, a := range analyzers.All() {
+		if a.Name == name {
+			return []*analysis.Analyzer{a}
+		}
+	}
+	t.Fatalf("unknown analyzer %q", name)
+	return nil
+}
+
+func TestSyncClose(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/store/sctest", one(t, "syncclose"))
+}
+
+func TestSyncCloseNegative(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/store/sctestok", one(t, "syncclose"))
+}
+
+func TestGuardedBy(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/server/gbtest", one(t, "guardedby"))
+}
+
+func TestGuardedByNegative(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/server/gbtestok", one(t, "guardedby"))
+}
+
+func TestRawConn(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/client/rctest", one(t, "rawconn"))
+}
+
+func TestRawConnNegative(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/client/rctestok", one(t, "rawconn"))
+}
+
+// TestRawConnExemptPackage proves the framing layer's own import path is
+// exempt: raw conn I/O in debar/internal/proto reports nothing.
+func TestRawConnExemptPackage(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/proto", one(t, "rawconn"))
+}
+
+func TestMetricName(t *testing.T) {
+	vettest.Run(t, src, "debar/mntest", one(t, "metricname"))
+}
+
+func TestMetricNameNegative(t *testing.T) {
+	vettest.Run(t, src, "debar/mntestok", one(t, "metricname"))
+}
+
+func TestErrDiscard(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/metastore/edtest", one(t, "errdiscard"))
+}
+
+func TestErrDiscardNegative(t *testing.T) {
+	vettest.Run(t, src, "debar/internal/metastore/edtestok", one(t, "errdiscard"))
+}
+
+func TestLostCancel(t *testing.T) {
+	vettest.Run(t, src, "debar/lctest", one(t, "lostcancel"))
+}
+
+func TestUnusedResult(t *testing.T) {
+	vettest.Run(t, src, "debar/urtest", one(t, "unusedresult"))
+}

@@ -1,0 +1,123 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// LostCancel is a stdlib-only port of the x/tools lostcancel pass (the
+// module cache in this environment is offline, so the suite cannot
+// depend on golang.org/x/tools; see tools/debarvet/README.md). It flags
+// the two unambiguous misuses of context.WithCancel/WithTimeout/
+// WithDeadline:
+//
+//   - the cancel function assigned to the blank identifier, and
+//   - a cancel variable that is never mentioned again in the function.
+//
+// Unlike the original it does not do CFG reachability, so a cancel that
+// is called on some paths but not others is accepted; the common leaks
+// (dropped or forgotten cancels) are still caught.
+var LostCancel = &analysis.Analyzer{
+	Name:      "lostcancel",
+	Doc:       "cancel functions returned by context.With* must not be discarded",
+	Packages:  []string{"debar"},
+	SkipTests: true,
+	Run:       runLostCancel,
+}
+
+var ctxCancelFuncs = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+func runLostCancel(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLostCancel(pass, info, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkLostCancel(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	// cancelObj -> the assignment position; removed once a later use is seen.
+	type pending struct {
+		pos  ast.Node
+		name string
+	}
+	cancels := make(map[*types.Var]pending)
+	defs := make(map[*types.Var]*ast.Ident)
+	assignPos := make(map[*types.Var]token.Pos)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn == nil || !isCtxWith(fn) {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(id.Pos(),
+				"cancel function from context.%s discarded; the context leaks until its parent is done", fn.Name())
+			return true
+		}
+		obj, _ := info.Defs[id].(*types.Var)
+		if obj == nil {
+			obj, _ = info.Uses[id].(*types.Var)
+		}
+		if obj != nil {
+			cancels[obj] = pending{pos: id, name: fn.Name()}
+			defs[obj] = id
+			assignPos[obj] = id.Pos()
+		}
+		return true
+	})
+	if len(cancels) == 0 {
+		return
+	}
+
+	// Any mention of the cancel variable after the assignment (call,
+	// defer, arg, return) counts as a use. Mentions before it — the
+	// declaration a plain `=` re-targets — do not discharge the leak.
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, _ := info.Uses[id].(*types.Var)
+		if obj == nil {
+			return true
+		}
+		if _, tracked := cancels[obj]; tracked && id != defs[obj] && id.Pos() > assignPos[obj] {
+			delete(cancels, obj)
+		}
+		return true
+	})
+
+	for _, p := range cancels {
+		pass.Reportf(p.pos.Pos(),
+			"cancel function from context.%s is never used; call or defer it on every path", p.name)
+	}
+}
+
+func isCtxWith(fn *types.Func) bool {
+	return fn.Pkg() != nil && fn.Pkg().Path() == "context" && ctxCancelFuncs[fn.Name()]
+}

@@ -1,0 +1,95 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// RawConn keeps raw network I/O behind the framed, deadline-aware
+// transport: outside internal/proto (which owns framing and the
+// per-message read/write deadlines) and internal/faultproxy (which must
+// forward bytes verbatim to inject faults), no package may dial
+// connections or call Read/Write directly on a net.Conn. A raw
+// conn.Read with no deadline is exactly the unbounded-blocking bug the
+// I/O-deadline discipline exists to prevent.
+//
+// net.Listen and Accept stay allowed everywhere: owning a listener is
+// fine, talking past the framing layer is not.
+var RawConn = &analysis.Analyzer{
+	Name: "rawconn",
+	Doc: "no direct net.Conn Read/Write or net.Dial* outside " +
+		"internal/proto and internal/faultproxy",
+	Packages:  []string{"debar"},
+	SkipTests: true,
+	Run:       runRawConn,
+}
+
+var rawConnExempt = map[string]bool{
+	"debar/internal/proto":      true,
+	"debar/internal/faultproxy": true,
+}
+
+var netDialFuncs = map[string]bool{
+	"Dial": true, "DialTimeout": true, "DialTCP": true, "DialUDP": true,
+	"DialUnix": true, "DialIP": true,
+}
+
+func runRawConn(pass *analysis.Pass) error {
+	if rawConnExempt[pass.Pkg.Path()] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil {
+				return true
+			}
+			// Package-level net.Dial* functions.
+			if fn.Pkg() != nil && fn.Pkg().Path() == "net" && netDialFuncs[fn.Name()] {
+				if recvNamed(fn) == nil {
+					pass.Reportf(call.Pos(),
+						"direct net.%s outside internal/proto; dial through the proto client so deadlines and framing apply",
+						fn.Name())
+					return true
+				}
+			}
+			recv := recvNamed(fn)
+			if recv == nil || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != "net" {
+				return true
+			}
+			switch fn.Name() {
+			case "Dial", "DialContext":
+				// (net.Dialer).Dial / DialContext.
+				if recv.Obj().Name() == "Dialer" {
+					pass.Reportf(call.Pos(),
+						"direct net.Dialer.%s outside internal/proto; dial through the proto client so deadlines and framing apply",
+						fn.Name())
+				}
+			case "Read", "Write":
+				// Read/Write on any named net type, including the
+				// net.Conn interface itself, bypasses framing and the
+				// per-message deadlines. Promoted methods resolve to the
+				// unexported embedded net.conn; name the operand's type
+				// (e.g. TCPConn) in the message instead.
+				recvName := recv.Obj().Name()
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if n := namedOf(info.TypeOf(sel.X)); n != nil &&
+						n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "net" && n.Obj().Exported() {
+						recvName = n.Obj().Name()
+					}
+				}
+				pass.Reportf(call.Pos(),
+					"raw net.%s.%s outside internal/proto bypasses framing and I/O deadlines; use the proto message helpers",
+					recvName, fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// UnusedResult is a stdlib-only port of the x/tools unusedresult pass
+// (see LostCancel for why the suite cannot depend on golang.org/x/tools
+// here): calling a pure function as a statement throws away its only
+// effect. The function list covers the stdlib helpers this codebase
+// actually uses.
+var UnusedResult = &analysis.Analyzer{
+	Name:      "unusedresult",
+	Doc:       "the result of a pure function call must be used",
+	Packages:  []string{"debar"},
+	SkipTests: true,
+	Run:       runUnusedResult,
+}
+
+// pureFuncs maps package path -> function names whose result is the
+// whole point of the call.
+var pureFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+	},
+	"errors": {
+		"New": true, "Unwrap": true, "Join": true,
+	},
+	"sort": {
+		"Reverse": true,
+	},
+	"context": {
+		"WithValue": true, "Background": true, "TODO": true,
+	},
+	"strings": {
+		"TrimSpace": true, "ToLower": true, "ToUpper": true, "Join": true,
+		"Repeat": true, "Replace": true, "ReplaceAll": true, "TrimPrefix": true,
+		"TrimSuffix": true, "Split": true, "Fields": true,
+	},
+	"slices": {
+		"Clone": true, "Compact": true, "Delete": true, "Insert": true,
+		"Grow": true, "Clip": true, "Concat": true, "Sorted": true,
+	},
+	"maps": {
+		"Clone": true, "Keys": true, "Values": true,
+	},
+	"bytes": {
+		"TrimSpace": true, "ToLower": true, "ToUpper": true, "Clone": true,
+	},
+	"path/filepath": {
+		"Join": true, "Clean": true, "Base": true, "Dir": true,
+	},
+}
+
+func runUnusedResult(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(st.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil || fn.Pkg() == nil || recvNamed(fn) != nil {
+				return true
+			}
+			if names := pureFuncs[fn.Pkg().Path()]; names[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"result of %s.%s is unused (the call has no side effects)",
+					fn.Pkg().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package analyzers holds debarvet's checks: the five project-specific
+// analyzers enforcing DEBAR's durability, locking and I/O-deadline
+// invariants, plus stdlib-only ports of the curated x/tools passes not
+// in stock vet. See tools/debarvet/README.md for the catalogue.
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		SyncClose,
+		GuardedBy,
+		RawConn,
+		MetricName,
+		ErrDiscard,
+		LostCancel,
+		UnusedResult,
+	}
+}
+
+// calleeOf resolves the called function or method object of a call
+// expression, or nil for builtins, conversions and indirect calls.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified call
+		}
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// recvNamed returns the named type of a method's receiver (through one
+// pointer), or nil.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+// namedOf unwraps pointers and aliases down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t (through one pointer) is pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// returnsError reports whether the function's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// constString returns the compile-time string value of e, if it has one.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// constFloat returns the compile-time numeric value of e, if it has one.
+func constFloat(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	f, ok := constant.Val(constant.ToFloat(tv.Value)).(float64)
+	if !ok {
+		if r, isRat := constant.Val(constant.ToFloat(tv.Value)).(interface{ Float64() (float64, bool) }); isRat {
+			v, _ := r.Float64()
+			return v, true
+		}
+		return 0, false
+	}
+	return f, true
+}
+
+// rootIdent returns the leftmost identifier of a selector chain
+// (a.b.c -> a), or nil if the chain is not rooted at a plain identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

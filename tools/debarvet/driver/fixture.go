@@ -1,0 +1,107 @@
+package driver
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// LoadFixture type-checks the GOPATH-style fixture package at
+// srcRoot/<importPath> for the analysistest-style harness
+// (tools/debarvet/vettest). Imports resolve first against other fixture
+// packages under srcRoot (from source — this is how the fixtures get a
+// fake debar/internal/obs without importing the real module), then
+// against stdlib export data from one cached `go list -export std` call.
+func LoadFixture(fset *token.FileSet, srcRoot, importPath string) (*analysis.Package, error) {
+	fi := &fixtureImporter{
+		fset:    fset,
+		srcRoot: srcRoot,
+		apkgs:   make(map[string]*analysis.Package),
+	}
+	return fi.load(importPath)
+}
+
+type fixtureImporter struct {
+	fset    *token.FileSet
+	srcRoot string
+	apkgs   map[string]*analysis.Package
+	gc      types.Importer // stdlib export-data importer, built lazily
+}
+
+func (fi *fixtureImporter) load(importPath string) (*analysis.Package, error) {
+	if p, ok := fi.apkgs[importPath]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through fixture %q", importPath)
+		}
+		return p, nil
+	}
+	fi.apkgs[importPath] = nil // cycle marker
+	dir := filepath.Join(fi.srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files in %s", importPath, dir)
+	}
+	pkg, err := typeCheck(fi.fset, importPath, dir, files, fi, "")
+	if err != nil {
+		return nil, err
+	}
+	fi.apkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer for fixture type-checking.
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(fi.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	if fi.gc == nil {
+		exports, err := stdExports()
+		if err != nil {
+			return nil, err
+		}
+		fi.gc = importer.ForCompiler(fi.fset, "gc", exportLookup(nil, exports))
+	}
+	return fi.gc.Import(path)
+}
+
+var stdExportsOnce = sync.OnceValues(func() (map[string]string, error) {
+	pkgs, err := goList("std")
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})
+
+// stdExports maps every stdlib import path to its export data file,
+// shared across fixtures within a test process.
+func stdExports() (map[string]string, error) {
+	return stdExportsOnce()
+}

@@ -1,0 +1,60 @@
+// Package driver loads type-checked packages for the debarvet analyzers
+// three ways: standalone over `go list` export data, per-package under
+// the `go vet -vettool` unitchecker protocol, and from GOPATH-style
+// testdata fixtures for the analysistest harness. Everything here is
+// standard library only — see the analysis package comment for why.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os/exec"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string // export data file, with -export
+	Standard   bool
+	DepOnly    bool // with -deps: not named on the command line
+	GoFiles    []string
+	CgoFiles   []string
+	ImportMap  map[string]string // source import -> resolved import path
+	Error      *listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// goList runs `go list -e -export -json -deps args...` and decodes the
+// JSON stream. -e keeps broken packages in the output (with Error set)
+// instead of failing the whole load.
+func goList(args ...string) ([]*listPkg, error) {
+	cmdArgs := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,CgoFiles,ImportMap,Error",
+	}, args...)
+	cmd := exec.Command("go", cmdArgs...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,110 @@
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// typeCheck parses and type-checks one package from source. files may be
+// absolute or relative to dir.
+func typeCheck(fset *token.FileSet, path, dir string, files []string, imp types.Importer, goVersion string) (*analysis.Package, error) {
+	var asts []*ast.File
+	for _, name := range files {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &analysis.Package{
+		Path:      path,
+		Fset:      fset,
+		Files:     asts,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// exportLookup builds a gc-importer lookup function over a map of
+// import path -> export data file, with an optional source-import remap
+// (vendoring, test variants) applied first.
+func exportLookup(importMap map[string]string, exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		if remapped, ok := importMap[path]; ok && remapped != "" {
+			path = remapped
+		}
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// LoadPackages loads and type-checks every non-stdlib package matching
+// patterns (standalone mode), resolving imports through `go list -export`
+// build-cache export data.
+func LoadPackages(patterns []string) ([]*analysis.Package, error) {
+	listed, err := goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	var out []*analysis.Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 || len(t.CgoFiles) > 0 {
+			continue
+		}
+		imp := importer.ForCompiler(fset, "gc", exportLookup(t.ImportMap, exports))
+		pkg, err := typeCheck(fset, t.ImportPath, t.Dir, t.GoFiles, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"strings"
+
+	"debar/tools/debarvet/analysis"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go passes to a
+// -vettool for each package (the x/tools unitchecker.Config schema —
+// the protocol is defined by cmd/go, not by x/tools, so a stdlib-only
+// tool can speak it too).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetTool runs one unitchecker-protocol invocation: `debarvet <flags>
+// path/to/foo.cfg`, as issued by `go vet -vettool=debarvet`. It returns
+// the process exit code: 0 clean, 2 diagnostics found, 1 failure.
+func VetTool(cfgPath string, analyzers []*analysis.Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// cmd/go requires every declared output to exist; debarvet exports
+	// no facts, so the vetx file is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and we have none
+	}
+	// Test variants ("pkg [pkg.test]", "pkg.test" mains, external _test
+	// packages) re-compile the non-test sources already analyzed in the
+	// base package, and every debarvet analyzer skips _test.go files by
+	// design; skip the whole variant instead of re-reporting.
+	if strings.Contains(cfg.ImportPath, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		return 0
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, exportLookup(cfg.ImportMap, cfg.PackageFile))
+	pkg, err := typeCheck(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	for _, d := range diags {
+		// file:line:col: message — the format cmd/go relays verbatim.
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("%s: parsing vet config: %v", path, err)
+	}
+	return cfg, nil
+}

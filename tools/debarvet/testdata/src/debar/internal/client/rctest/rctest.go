@@ -1,0 +1,30 @@
+// Package rctest seeds rawconn violations: dialing and raw conn I/O
+// outside internal/proto.
+package rctest
+
+import (
+	"context"
+	"net"
+)
+
+func dialRaw(addr string) error {
+	c, err := net.Dial("tcp", addr) // want `direct net\.Dial outside internal/proto`
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	if _, err := c.Read(buf); err != nil { // want `raw net\.Conn\.Read outside internal/proto`
+		return err
+	}
+	_, err = c.Write(buf) // want `raw net\.Conn\.Write outside internal/proto`
+	return err
+}
+
+func dialerToo(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr) // want `direct net\.Dialer\.DialContext outside internal/proto`
+}
+
+func concreteConn(c *net.TCPConn, buf []byte) (int, error) {
+	return c.Write(buf) // want `raw net\.TCPConn\.Write outside internal/proto`
+}

@@ -1,0 +1,19 @@
+// Package rctestok is the rawconn negative fixture: listeners are fine,
+// and an honoured suppression covers the one sanctioned raw dial.
+package rctestok
+
+import "net"
+
+// Owning a listener is allowed everywhere; only talking past the framing
+// layer is not.
+func listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func accept(ln net.Listener) (net.Conn, error) {
+	return ln.Accept()
+}
+
+func sanctioned(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) //debarvet:ignore rawconn -- fixture: proves line suppression is honoured
+}

@@ -1,0 +1,35 @@
+// Package edtest seeds errdiscard violations: silent discards of I/O
+// and fsync error returns in a storage-layer package.
+package edtest
+
+import (
+	"os"
+	"syscall"
+)
+
+func cleanup(f *os.File) {
+	f.Close() // want `error from os\.File\.Close discarded \(bare statement\)`
+}
+
+func blankDiscards(f *os.File, path string) {
+	_ = f.Sync()        // want `error from os\.File\.Sync discarded with _ =`
+	_ = os.Remove(path) // want `error from os\.Remove discarded with _ =`
+}
+
+func rawFlock(fd int) {
+	syscall.Flock(fd, syscall.LOCK_UN) // want `error from syscall\.Flock discarded \(bare statement\)`
+}
+
+func deferredSync(f *os.File) {
+	defer f.Sync() // want `deferred os\.File\.Sync discards the fsync verdict`
+}
+
+// storageMethod's own name puts it in the write/sync/close class, so a
+// caller discarding its error is flagged too.
+type journal struct{}
+
+func (*journal) writeRecord() error { return nil }
+
+func drop(j *journal) {
+	j.writeRecord() // want `error from journal\.writeRecord discarded \(bare statement\)`
+}

@@ -1,0 +1,37 @@
+// Package edtestok is the errdiscard negative fixture: joined and
+// checked errors, the deferred-Close backstop, and an honoured
+// suppression directive.
+package edtestok
+
+import (
+	"errors"
+	"os"
+)
+
+func joined(f *os.File, err error) error {
+	return errors.Join(err, f.Close())
+}
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Deferred Close stays errdiscard-clean: the error-path backstop idiom
+// is syncclose's business.
+func backstop(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+func advisory(f *os.File) {
+	_ = f.Close() //debarvet:ignore errdiscard -- fixture: proves line suppression is honoured
+}

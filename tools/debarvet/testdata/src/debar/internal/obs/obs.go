@@ -1,0 +1,32 @@
+// Package obs is a type-compatible stub of the real debar/internal/obs
+// for the debarvet fixture harness: the metricname analyzer matches
+// registration calls by import path and function name, so a fake with
+// the same shapes exercises it without pulling the real module into the
+// GOPATH-style fixture tree.
+package obs
+
+type Counter struct{}
+
+func (*Counter) Inc()        {}
+func (*Counter) Add(v int64) {}
+
+type Gauge struct{}
+
+func (*Gauge) Set(v int64) {}
+
+type Histogram struct{}
+
+func (*Histogram) Observe(v float64) {}
+
+func GetCounter(name string) *Counter                       { return &Counter{} }
+func GetGauge(name string) *Gauge                           { return &Gauge{} }
+func GetHistogram(name string, bounds []float64) *Histogram { return &Histogram{} }
+
+// ExpBuckets mirrors the real helper's signature.
+func ExpBuckets(start, factor float64, n int) []float64 { return nil }
+
+type Registry struct{}
+
+func (*Registry) Counter(name string) *Counter                       { return &Counter{} }
+func (*Registry) Gauge(name string) *Gauge                           { return &Gauge{} }
+func (*Registry) Histogram(name string, bounds []float64) *Histogram { return &Histogram{} }

@@ -1,0 +1,19 @@
+// Package proto stands in for the real framing layer in the rawconn
+// fixture tree: this import path is exempt, so raw conn I/O here must
+// produce no diagnostics.
+package proto
+
+import "net"
+
+func Ping(c net.Conn) error {
+	if _, err := c.Write([]byte("ping")); err != nil {
+		return err
+	}
+	var buf [4]byte
+	_, err := c.Read(buf[:])
+	return err
+}
+
+func Connect(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}

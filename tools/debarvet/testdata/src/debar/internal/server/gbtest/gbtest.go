@@ -1,0 +1,52 @@
+// Package gbtest seeds guardedby violations against the
+// `// guarded by <mu>` field annotation grammar.
+package gbtest
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	n  int            // guarded by mu
+	m  map[string]int // guarded by mu
+}
+
+func (b *box) unlockedRead() int {
+	return b.n // want `reading b.n \(guarded by mu\) without holding b.mu`
+}
+
+func (b *box) readLockedWrite() {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	b.n = 1 // want `holding only a read lock`
+}
+
+func (b *box) unlockedMap() {
+	b.m["k"] = 1 // want `reading b.m \(guarded by mu\) without holding b.mu`
+}
+
+func (b *box) unlockAfterBranch(c bool) {
+	b.mu.Lock()
+	if c {
+		b.mu.Unlock()
+		return
+	}
+	b.n++ // ok: the unlocking branch returned
+	b.mu.Unlock()
+	b.n = 2 // want `writing b.n \(guarded by mu\) without holding b.mu`
+}
+
+func (b *box) goroutineInheritsNothing() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `writing b.n \(guarded by mu\) without holding b.mu`
+	}()
+}
+
+func localVarRoot() {
+	b := &box{m: make(map[string]int)}
+	b.mu.Lock()
+	b.n = 1 // ok: locked through the local
+	b.mu.Unlock()
+	_ = b.n // want `reading b.n \(guarded by mu\) without holding b.mu`
+}

@@ -1,0 +1,55 @@
+// Package gbtestok is the guardedby negative fixture: the annotation
+// conventions that silence the check — any diagnostic here is a failure.
+package gbtestok
+
+import "sync"
+
+type box struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// locked paths.
+func (b *box) inc() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n++
+}
+
+func (b *box) get() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.n
+}
+
+// flushLocked demonstrates the *Locked naming convention: the suffix
+// asserts the receiver's mu is held exclusively on entry.
+func (b *box) flushLocked() {
+	b.n = 0
+}
+
+// drain demonstrates the holds directive for caller-holds contracts on
+// functions whose names predate the *Locked convention.
+//
+// debarvet:holds mu -- the caller holds b.mu.
+func (b *box) drain() int {
+	n := b.n
+	b.n = 0
+	return n
+}
+
+// closure run inline inherits the caller's lock state.
+func (b *box) inline() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	func() {
+		b.n++
+	}()
+}
+
+//debarvet:ignore guardedby -- fixture: constructor path, the box has not escaped its creating goroutine
+func newBox() *box {
+	b := &box{}
+	b.n = 1
+	return b
+}

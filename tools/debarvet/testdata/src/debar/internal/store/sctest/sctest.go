@@ -1,0 +1,47 @@
+// Package sctest seeds syncclose violations: every want line below must
+// be reported, and fixing it the way sctestok does silences the check.
+package sctest
+
+import "os"
+
+func closeWithoutSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Close() // want `closed without Sync on any path`
+}
+
+func discards(path string, data []byte) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	_, _ = f.Write(data)
+	_ = f.Sync() // want `discarded with _ =`
+	f.Close()    // want `discarded \(bare statement\)`
+}
+
+func deferOnly(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `deferred Close is the only Close`
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func appendMode(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	_, _ = f.Write(data)
+	return f.Close() // want `closed without Sync on any path`
+}

@@ -1,0 +1,62 @@
+// Package sctestok is the syncclose negative fixture: the clean idioms
+// and an honoured suppression directive — a diagnostic on any line here
+// fails the test.
+package sctestok
+
+import (
+	"errors"
+	"os"
+)
+
+// atomicWrite is the canonical open/write/sync/close idiom: the bare
+// defer is accepted as the error-path backstop because the explicit
+// Close error is checked.
+func atomicWrite(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// joined checks Close on the error path through errors.Join.
+func joined(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Sync(); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	return f.Close()
+}
+
+// readOnly opens for reading: not tracked, bare close allowed by
+// syncclose (errdiscard has its own opinion, tested separately).
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// suppressed proves the line directive is honoured: without it this is
+// both a close-without-sync and a bare-statement discard.
+func suppressed(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	f.Close() //debarvet:ignore syncclose -- fixture: proves line suppression is honoured
+}

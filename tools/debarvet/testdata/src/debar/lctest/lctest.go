@@ -1,0 +1,31 @@
+// Package lctest exercises the lostcancel port: discarded and forgotten
+// context cancel functions.
+package lctest
+
+import (
+	"context"
+	"time"
+)
+
+func blankCancel(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want `cancel function from context\.WithTimeout discarded`
+	return c
+}
+
+func forgotten(ctx context.Context) context.Context {
+	var cancel context.CancelFunc
+	_ = cancel                            // mentioned only before the assignment: does not discharge the leak
+	ctx, cancel = context.WithCancel(ctx) // want `cancel function from context\.WithCancel is never used`
+	return ctx
+}
+
+func used(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-ctx.Done()
+}
+
+func suppressed(ctx context.Context) context.Context {
+	c, _ := context.WithCancel(ctx) //debarvet:ignore lostcancel -- fixture: proves line suppression is honoured
+	return c
+}

@@ -1,0 +1,25 @@
+// Package mntest seeds metricname violations against the
+// layer_subsystem_name grammar and the bucket ordering rules.
+package mntest
+
+import "debar/internal/obs"
+
+var good = obs.GetCounter("server_dedup_hits_total")
+
+var badCase = obs.GetCounter("Server_Dedup_Misses") // want `not layer_subsystem_name lowercase-snake`
+var tooFewSegments = obs.GetCounter("server_hits")  // want `not layer_subsystem_name lowercase-snake`
+var dup = obs.GetCounter("server_dedup_hits_total") // want `registered from more than one call site`
+var camel = obs.GetGauge("storeIndexResident")      // want `not layer_subsystem_name lowercase-snake`
+
+var unsorted = obs.GetHistogram("store_sync_seconds", []float64{0.1, 0.5, 0.25}) // want `not strictly increasing`
+var empty = obs.GetHistogram("store_flush_seconds", []float64{})                 // want `empty bucket list`
+var badExp = obs.GetHistogram("store_hold_seconds", obs.ExpBuckets(0, 2, 8))     // want `start must be > 0`
+var flatExp = obs.GetHistogram("store_stage_seconds", obs.ExpBuckets(1, 1, 8))   // want `factor must be > 1`
+
+func dynamic(prefix string) *obs.Counter {
+	return obs.GetCounter(prefix + "Enqueues_Total") // want `fragment .* is not lowercase-snake`
+}
+
+func registry(r *obs.Registry) *obs.Counter {
+	return r.Counter("BADNAME") // want `not layer_subsystem_name lowercase-snake`
+}

@@ -1,0 +1,20 @@
+// Package mntestok is the metricname negative fixture: well-formed
+// names, dynamic prefixes, shared handles hoisted to vars, and an
+// honoured suppression.
+package mntestok
+
+import "debar/internal/obs"
+
+var (
+	hits    = obs.GetCounter("server_dedup_hits_total")
+	latency = obs.GetHistogram("server_batch_seconds", obs.ExpBuckets(0.001, 2, 16))
+	sizes   = obs.GetHistogram("store_commit_window_bytes", []float64{1024, 4096, 65536})
+)
+
+// Per-instance dynamic names: every literal fragment is lowercase-snake.
+func committerMetrics(name string) *obs.Counter {
+	p := "store_commit_" + name + "_"
+	return obs.GetCounter(p + "enqueues_total")
+}
+
+var legacy = obs.GetCounter("hits") //debarvet:ignore metricname -- fixture: proves line suppression is honoured

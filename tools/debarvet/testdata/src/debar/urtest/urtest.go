@@ -1,0 +1,21 @@
+// Package urtest exercises the unusedresult port: pure calls as bare
+// statements.
+package urtest
+
+import (
+	"fmt"
+	"strings"
+)
+
+func f(s string) string {
+	fmt.Sprintf("x %s", s) // want `result of fmt\.Sprintf is unused`
+	strings.TrimSpace(s)   // want `result of strings\.TrimSpace is unused`
+	fmt.Errorf("e %s", s)  // want `result of fmt\.Errorf is unused`
+	t := strings.ToLower(s)
+	fmt.Println(t) // ok: Println has side effects
+	return t
+}
+
+func suppressed(s string) {
+	fmt.Sprint(s) //debarvet:ignore unusedresult -- fixture: proves line suppression is honoured
+}

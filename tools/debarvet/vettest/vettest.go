@@ -1,0 +1,113 @@
+// Package vettest is debarvet's analysistest: it loads a GOPATH-style
+// fixture package from tools/debarvet/testdata/src and checks the
+// analyzers' diagnostics against `// want "regexp"` expectation comments
+// in the fixture sources, exactly the x/tools analysistest contract:
+//
+//   - every diagnostic must be matched by a want regexp on its line;
+//   - every want regexp must be matched by a diagnostic on its line;
+//   - multiple quoted regexps on one line match multiple diagnostics.
+//
+// Fixture packages live under import paths inside the analyzer's scope
+// (e.g. debar/internal/store/sctest for syncclose), and negative
+// fixtures carry no want comments at all — a clean run is the pass.
+package vettest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"testing"
+
+	"debar/tools/debarvet/analysis"
+	"debar/tools/debarvet/driver"
+)
+
+// Run loads srcRoot/<importPath> and checks analyzers against the
+// fixture's want comments.
+func Run(t *testing.T, srcRoot, importPath string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := driver.LoadFixture(fset, srcRoot, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", importPath, err)
+	}
+	diags, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", importPath, err)
+	}
+	wants := collectWants(t, fset, pkg.Files)
+
+	for _, d := range diags {
+		key := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe pulls the quoted (double-quote or backquote) regexps out of a
+// `// want "..." `+"`...`"+` comment.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range files {
+		fname := fset.File(f.Pos()).Name()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := indexWant(c.Text)
+				if idx < 0 {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", fname, line, pat, err)
+					}
+					wants[lineKey{fname, line}] = append(wants[lineKey{fname, line}], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func indexWant(text string) int {
+	for i := 0; i+5 <= len(text); i++ {
+		if text[i:i+5] == "want " {
+			return i
+		}
+	}
+	return -1
+}
