@@ -273,6 +273,11 @@ func BenchmarkDedup2SecondGen(b *testing.B) {
 			}
 			defer sys.Close()
 			c := NewClient(sys.ServerAddrs[0], "bench-dedup2")
+			// Inline dedup would answer "skip" from the disk index for every
+			// second-generation fingerprint and dedup-2 would have nothing to
+			// do; this benchmark measures the out-of-line path, so force the
+			// pre-capability send-everything protocol.
+			c.Options.DisableInlineDedup = true
 			if _, err := c.Backup("gen-0", dir); err != nil {
 				b.Fatal(err)
 			}

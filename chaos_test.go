@@ -41,7 +41,7 @@ func chaosSrc(t *testing.T, seed uint64, size int) (string, []byte) {
 // pacing (the defaults back off for humans, not unit tests).
 func chaosClient(addr string) *Client {
 	c := client.New(addr, "chaos")
-	c.RetryBackoff = 50 * time.Millisecond
+	c.Options.RetryBackoff = 50 * time.Millisecond
 	return c
 }
 
@@ -71,7 +71,7 @@ func TestChaosBackupRetriesThroughCut(t *testing.T) {
 	// several complete ChunkBatch frames land before the cut; the default
 	// 256-chunk batch would put the whole 2 MiB in one frame the cut
 	// always truncates, leaving nothing to resume from.
-	c.BatchSize = 16
+	c.Options.BatchSize = 16
 	stats, err := c.Backup("cut-backup-job", src)
 	if err != nil {
 		t.Fatalf("backup through cut link: %v", err)
@@ -123,7 +123,7 @@ func TestChaosRestoreResumesThroughCut(t *testing.T) {
 	px.SetPlan(faultproxy.Plan{CutS2C: 256 << 10, FailConns: 1})
 
 	rc := chaosClient(px.Addr())
-	rc.RestoreBatchSize = 32 // many batches: the cut lands mid-stream
+	rc.Options.RestoreBatchSize = 32 // many batches: the cut lands mid-stream
 	dest := t.TempDir()
 	n, err := rc.Restore("cut-restore-job", dest)
 	if err != nil {
@@ -180,8 +180,8 @@ func TestChaosStalledLinkTimesOutAndRetries(t *testing.T) {
 	px.SetPlan(faultproxy.Plan{StallS2C: 128 << 10, FailConns: 1})
 
 	rc := chaosClient(px.Addr())
-	rc.RestoreBatchSize = 32
-	rc.IOTimeout = 500 * time.Millisecond // detect the stall fast
+	rc.Options.RestoreBatchSize = 32
+	rc.Options.IOTimeout = 500 * time.Millisecond // detect the stall fast
 	dest := t.TempDir()
 	start := time.Now()
 	if _, err := rc.Restore("stall-job", dest); err != nil {
@@ -292,13 +292,13 @@ func TestChaosSlowLinkStillCompletes(t *testing.T) {
 	})
 
 	c := chaosClient(px.Addr())
-	c.IOTimeout = time.Second
-	c.Retries = -1 // any spurious timeout must fail loudly, not retry
+	c.Options.IOTimeout = time.Second
+	c.Options.Retries = -1 // any spurious timeout must fail loudly, not retry
 	// Small batches so a single frame (~80 KiB at the ~10 KiB average
 	// chunk size) always traverses the throttled link well inside the
 	// per-I/O timeout; bigger batches would starve the ack reader for
 	// over a second per frame and trip the deadline spuriously.
-	c.BatchSize = 8
+	c.Options.BatchSize = 8
 	if _, err := c.Backup("slow-job", src); err != nil {
 		t.Fatalf("backup over slow link: %v", err)
 	}
@@ -306,6 +306,73 @@ func TestChaosSlowLinkStillCompletes(t *testing.T) {
 		t.Fatalf("dedup-2: %v", err)
 	}
 	checkRestore(t, sys.ServerAddrs[0], "slow-job", src)
+}
+
+// TestChaosInlineDedupCutResume cuts a backup that is skipping chunks via
+// the inline fast path: generation one lands and dedup-2 moves it into
+// containers, then generation two — half index-resident duplicates, half
+// new data — runs through a link cut mid-exchange. The retry must resume
+// and the restore must be byte-identical, proving an inline skip verdict
+// never stood in for bytes that hadn't durably landed and the cut lost
+// none of the new chunks.
+func TestChaosInlineDedupCutResume(t *testing.T) {
+	sys, err := StartLocal(1, ServerConfig{IndexBits: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	src1, old := chaosSrc(t, 137, 2*1024*1024)
+	c0 := chaosClient(sys.ServerAddrs[0])
+	if _, err := c0.Backup("inline-gen1", src1); err != nil {
+		t.Fatalf("gen-1 backup: %v", err)
+	}
+	// Dedup-2 moves gen-1 into committed containers: from here the disk
+	// index can answer inline skips for every gen-1 chunk.
+	if err := sys.RunDedup2(); err != nil {
+		t.Fatalf("dedup-2: %v", err)
+	}
+
+	// Generation two: the gen-1 bytes again (inline-skippable) plus 2 MiB
+	// the index has never seen (must transfer, and must survive the cut).
+	src2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(src2, "a-dup.bin"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rng := newDetRand(139)
+	fresh := make([]byte, 2*1024*1024)
+	for i := 0; i < len(fresh); i += 8 {
+		binary.LittleEndian.PutUint64(fresh[i:], rng.next())
+	}
+	if err := os.WriteFile(filepath.Join(src2, "b-new.bin"), fresh, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	px, err := faultproxy.New(sys.ServerAddrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	px.SetPlan(faultproxy.Plan{CutC2S: 512 << 10, FailConns: 1})
+
+	c := chaosClient(px.Addr())
+	c.Options.BatchSize = 16 // several frames land before the cut (see above)
+	stats, err := c.Backup("inline-gen2", src2)
+	if err != nil {
+		t.Fatalf("backup through cut link: %v", err)
+	}
+	if n := px.Accepted(); n < 2 {
+		t.Fatalf("proxy accepted %d connections, want ≥2 (a retry)", n)
+	}
+	if stats.InlineSkippedBytes == 0 {
+		t.Fatal("duplicate half produced no inline skips — the cut scenario never exercised the fast path")
+	}
+
+	if err := sys.RunDedup2(); err != nil {
+		t.Fatalf("dedup-2: %v", err)
+	}
+	checkRestore(t, sys.ServerAddrs[0], "inline-gen2", src2)
+	checkRestore(t, sys.ServerAddrs[0], "inline-gen1", src1)
 }
 
 // errInjected is a sentinel for fault hooks asserting wrap fidelity.

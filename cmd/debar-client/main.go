@@ -29,6 +29,7 @@ func main() {
 	ioTimeout := flag.Duration("io-timeout", 0, "per-read/write deadline on the server connection (0 = 2m, negative = none)")
 	retries := flag.Int("retries", 0, "extra attempts after a transient network failure, resuming prior progress (0 = 3, negative = no retries)")
 	backoff := flag.Duration("retry-backoff", 0, "base delay between retries, doubled with jitter each attempt (0 = 100ms)")
+	noInline := flag.Bool("no-inline-dedup", false, "do not offer the inline-dedup capability: ship every chunk and let the server dedup after the fact")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
@@ -51,17 +52,22 @@ func main() {
 		defer dbg.Close()
 		logger.Info("debug listener started", "addr", dbg.Addr())
 	}
-	c := client.New(*srv, *name)
-	c.Logger = logger
-	c.Window = *window
-	c.Workers = *workers
+	opts := client.DefaultOptions()
+	opts.Logger = logger
+	opts.Window = *window
+	opts.Workers = *workers
 	if *batch > 0 {
-		c.BatchSize = *batch
+		opts.BatchSize = *batch
 	}
-	c.DialTimeout = *dialTimeout
-	c.IOTimeout = *ioTimeout
-	c.Retries = *retries
-	c.RetryBackoff = *backoff
+	opts.DialTimeout = *dialTimeout
+	opts.IOTimeout = *ioTimeout
+	opts.Retries = *retries
+	opts.RetryBackoff = *backoff
+	opts.DisableInlineDedup = *noInline
+	c, err := client.NewWithOptions(*srv, *name, opts)
+	if err != nil {
+		log.Fatalf("debar-client: %v", err)
+	}
 	switch args[0] {
 	case "backup":
 		stats, err := c.Backup(args[1], args[2])
@@ -71,6 +77,9 @@ func main() {
 		saved := 100 * (1 - float64(stats.TransferredBytes)/float64(max64(stats.LogicalBytes, 1)))
 		fmt.Printf("backed up %d files: %d logical bytes, %d transferred (%.1f%% saved), %d new fingerprints\n",
 			stats.Files, stats.LogicalBytes, stats.TransferredBytes, saved, stats.NewFingerprints)
+		if stats.InlineSkippedBytes > 0 {
+			fmt.Printf("inline dedup skipped %d bytes before transfer\n", stats.InlineSkippedBytes)
+		}
 	case "restore":
 		n, err := c.Restore(args[1], args[2])
 		if err != nil {

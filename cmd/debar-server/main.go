@@ -34,6 +34,7 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-write deadline on client connections (0 = 2m, negative = none)")
 	controlTimeout := flag.Duration("control-timeout", 0, "dial and per-I/O deadline for director control calls (0 = 10s, negative = none)")
 	controlRetries := flag.Int("control-retries", 0, "extra attempts for transient director control-call failures (0 = 2, negative = no retries)")
+	noInline := flag.Bool("no-inline-dedup", false, "do not advertise the inline-dedup capability: answer every fingerprint batch as a pre-capability server would")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address (empty = disabled)")
@@ -72,6 +73,8 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		ControlTimeout: *controlTimeout,
 		ControlRetries: *controlRetries,
+
+		DisableInlineDedup: *noInline,
 	})
 	if err != nil {
 		log.Fatalf("debar-server: %v", err)

@@ -14,6 +14,34 @@
 //   - re-exported client for talking to any DEBAR deployment;
 //   - the experiments API regenerating the paper's tables and figures.
 //
+// # Inline vs out-of-line dedup
+//
+// DEBAR's defining design choice is out-of-line (post-process) dedup:
+// during a backup window the server answers fingerprint batches from
+// cheap in-memory state only — the per-session preliminary filter and
+// the server-wide logged-fingerprint map — and defers every disk-index
+// lookup to de-duplication Phase II (SIL/SIU), which runs after the
+// window against the chunk-log WAL. That keeps ingest latency flat but
+// ships cross-generation duplicates over the wire before Phase II
+// discards them.
+//
+// The inline fast path closes that gap where it is cheap to do so: when
+// a session negotiates proto.CapInlineDedup (on by default; opt out via
+// the client Options.DisableInlineDedup or the server's matching config
+// knob / -no-inline-dedup flag), the server additionally probes the
+// restore-path LPC and disk index while answering an FPBatch, and
+// returns an explicit "duplicate — don't send" verdict for chunks
+// already sitting in committed containers. The client then skips
+// shipping those bytes entirely; the server registers the reference
+// without a WAL append. Index entries only ever describe durably
+// committed containers, so a skip verdict never points at bytes a crash
+// could lose, and an index miss (false negative) just falls through to
+// the out-of-line pass — the store converges on byte-identical contents
+// with the fast path on or off, proven by the equivalence tests in
+// internal/server. Capability negotiation intersects what both sides
+// offer, so either side predating (or disabling) the capability yields
+// exactly the classic send-everything protocol.
+//
 // # Fault tolerance
 //
 // Every network operation is bounded and every client operation retries

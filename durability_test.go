@@ -86,8 +86,8 @@ func checkRestoreWith(t *testing.T, saddr, job, srcDir string, batch, window int
 	t.Helper()
 	dest := t.TempDir()
 	c := client.New(saddr, "e2e-restore")
-	c.RestoreBatchSize = batch
-	c.RestoreWindow = window
+	c.Options.RestoreBatchSize = batch
+	c.Options.RestoreWindow = window
 	n, err := c.Restore(job, dest)
 	if err != nil {
 		t.Fatalf("restore: %v", err)

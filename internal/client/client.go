@@ -14,18 +14,31 @@
 // fingerprints each) in flight on one connection, with decoupled send
 // and receive goroutines. Disk reads, hashing and network round-trips
 // overlap; verdicts are matched to their batches by sequence number.
-// See pipeline.go for the stage layout. The knobs:
+// See pipeline.go for the stage layout. Every knob lives on the Options
+// struct (construct via DefaultOptions or mutate Client.Options before
+// the first operation; NewWithOptions validates eagerly):
 //
-//   - BatchSize: fingerprints per FPBatch (default 256, as in the paper's
-//     batch granularity of dedup-1);
-//   - Window: FPBatches in flight before the dispatcher blocks
+//   - Options.BatchSize: fingerprints per FPBatch (default 256, as in
+//     the paper's batch granularity of dedup-1);
+//   - Options.Window: FPBatches in flight before the dispatcher blocks
 //     (default 4 — enough to hide one round-trip at loopback and LAN
 //     latencies without buffering unbounded chunk data);
-//   - Workers: fingerprinting goroutines (default GOMAXPROCS, capped
-//     at 8 — SHA-1 saturates the NIC long before that on modern cores).
+//   - Options.Workers: fingerprinting goroutines (default GOMAXPROCS,
+//     capped at 8 — SHA-1 saturates the NIC long before that on modern
+//     cores).
 //
 // Memory in flight is bounded by roughly Window × BatchSize × the
 // expected chunk size.
+//
+// # Inline dedup
+//
+// The client offers proto.CapInlineDedup in BackupStart (unless
+// Options.DisableInlineDedup); against a capable server, confirmed
+// duplicates come back as VerdictSkipDuplicate and their chunk bytes are
+// never shipped — the pipeline records the fingerprints in the file
+// entry and recycles the buffers. Against a capability-less server (or
+// with the knob off) every exchange is byte-identical to the
+// pre-capability protocol.
 //
 // # Streaming restore
 //
@@ -38,20 +51,20 @@
 // chunk store surfaces as an error, never as silently wrong bytes. The
 // restore knobs:
 //
-//   - RestoreBatchSize: chunks per restore batch requested from the
-//     server (default 256, like BatchSize; the server additionally cuts
-//     batches at a byte budget);
-//   - RestoreWindow: restore batches the server may keep in flight
-//     before waiting for the client's acknowledgements (default 4, like
-//     Window).
+//   - Options.RestoreBatchSize: chunks per restore batch requested from
+//     the server (default 256, like BatchSize; the server additionally
+//     cuts batches at a byte budget);
+//   - Options.RestoreWindow: restore batches the server may keep in
+//     flight before waiting for the client's acknowledgements (default
+//     4, like Window).
 //
 // # Fault tolerance
 //
-// Every connection is bounded (DialTimeout for establishment, IOTimeout
-// as a per-I/O deadline — a stalled peer fails fast, a slow transfer
-// making progress does not) and every operation retries transient
-// network failures with exponential backoff and jitter under a retry
-// budget (Retries, RetryBackoff). The retries are efficient resumes, not
+// Every connection is bounded (Options.DialTimeout for establishment,
+// Options.IOTimeout as a per-I/O deadline — a stalled peer fails fast, a
+// slow transfer making progress does not) and every operation retries
+// transient network failures with exponential backoff and jitter under a
+// retry budget (Options.Retries, Options.RetryBackoff). The retries are efficient resumes, not
 // blind re-runs: a retried backup re-offers fingerprints (idempotent on
 // the server, which primes a new session with its pending set) and only
 // re-ships chunks that never landed; a retried restore resumes mid-file
@@ -71,7 +84,6 @@ import (
 	"sort"
 	"time"
 
-	"debar/internal/chunker"
 	"debar/internal/obs"
 	"debar/internal/proto"
 	"debar/internal/retry"
@@ -88,6 +100,8 @@ var (
 	mRestoreRetries  = obs.GetCounter("client_restore_retries_total")
 	mRestoreResumes  = obs.GetCounter("client_restore_resumes_total")
 	mWindowOccupancy = obs.GetHistogram("client_window_occupancy", obs.CountBuckets)
+	mSkippedChunks   = obs.GetCounter("client_backup_skipped_chunks_total")
+	mSkippedBytes    = obs.GetCounter("client_backup_skipped_bytes_total")
 )
 
 // defaultWindow is the default number of FPBatches kept in flight.
@@ -108,54 +122,30 @@ const defaultIOTimeout = 2 * time.Minute
 // defaultRetries is the transient-failure retry budget when Retries is 0.
 const defaultRetries = 3
 
-// Client is a backup client bound to one backup server.
+// Client is a backup client bound to one backup server. Every tuning
+// knob lives on the exported Options field; mutate it before the first
+// operation (Backup, Restore and Verify validate it at entry).
 type Client struct {
 	ServerAddr string
 	Name       string
-	Chunking   chunker.Config
-	BatchSize  int // fingerprints per FPBatch (default 256)
-	Window     int // FPBatches in flight (default 4)
-	Workers    int // fingerprint worker goroutines (default GOMAXPROCS, max 8)
-
-	RestoreBatchSize int // chunks per restore batch (default 256)
-	RestoreWindow    int // restore batches in flight before the server awaits acks (default 4)
-
-	// DialTimeout bounds connection establishment (0 selects
-	// proto.DefaultDialTimeout, 10s).
-	DialTimeout time.Duration
-	// IOTimeout bounds each individual transport read/write once
-	// connected: a peer that stops moving data for this long fails the
-	// operation (and triggers a retry). 0 selects 2 minutes; negative
-	// disables the deadlines.
-	IOTimeout time.Duration
-	// Retries is the transient-failure retry budget per operation:
-	// how many times a backup, restore or verify re-attempts after a
-	// connection-level failure. 0 selects 3; negative disables retries.
-	Retries int
-	// RetryBackoff is the delay before the first retry; it doubles per
-	// consecutive failure (jittered, capped at 5s). 0 selects 100ms.
-	RetryBackoff time.Duration
-
-	// Logger receives the client's structured log events (retries,
-	// resumes). Nil selects slog.Default.
-	Logger *slog.Logger
+	Options    Options
 }
 
 // logger resolves the client's structured logger.
 func (c *Client) logger() *slog.Logger {
-	if c.Logger != nil {
-		return c.Logger
+	if c.Options.Logger != nil {
+		return c.Options.Logger
 	}
 	return slog.Default()
 }
 
 // dial opens a bounded connection to the backup server.
 func (c *Client) dial() (*proto.Conn, error) {
-	conn, err := proto.DialTimeout(c.ServerAddr, c.DialTimeout)
+	conn, err := proto.DialTimeout(c.ServerAddr, c.Options.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	to := c.IOTimeout
+	to := c.Options.IOTimeout
 	if to == 0 {
 		to = defaultIOTimeout
 	}
@@ -165,26 +155,47 @@ func (c *Client) dial() (*proto.Conn, error) {
 
 // retryPolicy resolves the client's retry knobs.
 func (c *Client) retryPolicy() retry.Policy {
-	r := c.Retries
+	r := c.Options.Retries
 	if r == 0 {
 		r = defaultRetries
 	} else if r < 0 {
 		r = 0
 	}
-	return retry.Policy{Attempts: r + 1, Base: c.RetryBackoff}
+	return retry.Policy{Attempts: r + 1, Base: c.Options.RetryBackoff}
 }
 
-// New returns a client for the given backup server.
+// caps is the capability set the client offers in BackupStart.
+func (c *Client) caps() proto.Caps {
+	if c.Options.DisableInlineDedup {
+		return 0
+	}
+	return proto.CapInlineDedup
+}
+
+// New returns a client for the given backup server with default options.
 func New(serverAddr, name string) *Client {
-	return &Client{ServerAddr: serverAddr, Name: name, BatchSize: 256}
+	return &Client{ServerAddr: serverAddr, Name: name, Options: DefaultOptions()}
 }
 
-// BackupStats summarises one backup run.
+// NewWithOptions returns a client with the given options, validating
+// them eagerly so a misconfiguration fails at construction rather than
+// on the first operation.
+func NewWithOptions(serverAddr, name string, o Options) (*Client, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return &Client{ServerAddr: serverAddr, Name: name, Options: o}, nil
+}
+
+// BackupStats summarises one backup run. InlineSkippedBytes counts
+// logical bytes the inline dedup fast path confirmed as duplicates
+// before transfer — data that never crossed the wire.
 type BackupStats struct {
-	Files            int
-	LogicalBytes     int64
-	TransferredBytes int64
-	NewFingerprints  int64
+	Files              int
+	LogicalBytes       int64
+	TransferredBytes   int64
+	NewFingerprints    int64
+	InlineSkippedBytes int64
 }
 
 // Backup walks dir and backs up every regular file under it as job
@@ -194,8 +205,11 @@ type BackupStats struct {
 // pending fingerprints — answers "don't transfer" for chunks that
 // already landed, so only the missing tail of the data moves again.
 func (c *Client) Backup(jobName, dir string) (BackupStats, error) {
-	pol := c.retryPolicy()
 	var stats BackupStats
+	if err := c.Options.Validate(); err != nil {
+		return stats, err
+	}
+	pol := c.retryPolicy()
 	var err error
 	for attempt := 0; ; attempt++ {
 		stats, err = c.backupOnce(jobName, dir)
@@ -258,11 +272,17 @@ func (c *Client) backupOnce(jobName, dir string) (BackupStats, error) {
 	stats.LogicalBytes = done.LogicalBytes
 	stats.TransferredBytes = done.TransferredBytes
 	stats.NewFingerprints = done.NewFingerprints
+	stats.InlineSkippedBytes = done.InlineSkippedBytes
 	return stats, nil
 }
 
 func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
-	if err := conn.Send(proto.BackupStart{JobName: jobName, Client: c.Name}); err != nil {
+	if err := conn.Send(proto.BackupStart{
+		JobName: jobName,
+		Client:  c.Name,
+		Version: proto.ProtocolVersion,
+		Caps:    c.caps(),
+	}); err != nil {
 		return 0, err
 	}
 	msg, err := conn.Recv()
@@ -271,6 +291,11 @@ func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
 	}
 	switch m := msg.(type) {
 	case proto.BackupStartOK:
+		// The negotiated caps (m.Caps & c.caps()) need no client-side
+		// branch: both verdict frame forms decode into the same FPVerdicts
+		// and the pipeline obeys whatever verdicts arrive. The offer
+		// matters server-side — it licenses the tag-8 frame and
+		// index-backed skip verdicts.
 		return m.SessionID, nil
 	case proto.Ack:
 		return 0, fmt.Errorf("client: BackupStart refused: %w", proto.AckError(m))
@@ -280,10 +305,10 @@ func (c *Client) start(conn *proto.Conn, jobName string) (uint64, error) {
 }
 
 func (c *Client) batch() int {
-	if c.BatchSize <= 0 {
+	if c.Options.BatchSize <= 0 {
 		return 256
 	}
-	return c.BatchSize
+	return c.Options.BatchSize
 }
 
 // Restore retrieves every file of jobName's latest run into destDir,
@@ -293,6 +318,9 @@ func (c *Client) batch() int {
 // mid-stream from its last verified chunk (the partial temp file and its
 // verified prefix survive across attempts).
 func (c *Client) Restore(jobName, destDir string) (int, error) {
+	if err := c.Options.Validate(); err != nil {
+		return 0, err
+	}
 	pol := c.retryPolicy()
 	var (
 		restored int

@@ -41,7 +41,7 @@ func startSystem(t *testing.T) (*director.Director, string) {
 
 func newTestClient(addr string) *client.Client {
 	c := client.New(addr, "pipe-client")
-	c.Chunking = chunker.Config{AvgBits: 10, Min: 512, Max: 8192, Window: 32}
+	c.Options.Chunking = chunker.Config{AvgBits: 10, Min: 512, Max: 8192, Window: 32}
 	return c
 }
 
@@ -78,7 +78,7 @@ func TestPipelineEdgeCases(t *testing.T) {
 	}
 
 	c := newTestClient(addr)
-	c.BatchSize = 16 // small batches: force several in flight
+	c.Options.BatchSize = 16 // small batches: force several in flight
 	stats, err := c.Backup("edge-job", src)
 	if err != nil {
 		t.Fatal(err)
@@ -129,7 +129,7 @@ func TestPipelineKnobExtremes(t *testing.T) {
 		t.Run(fmt.Sprintf("w%d_k%d_b%d", tc.window, tc.workers, tc.batch), func(t *testing.T) {
 			d, addr := startSystem(t)
 			c := newTestClient(addr)
-			c.Window, c.Workers, c.BatchSize = tc.window, tc.workers, tc.batch
+			c.Options.Window, c.Options.Workers, c.Options.BatchSize = tc.window, tc.workers, tc.batch
 			job := fmt.Sprintf("knob-job-%d", i)
 			stats, err := c.Backup(job, src)
 			if err != nil {
@@ -188,7 +188,7 @@ func TestBackupErrorPropagates(t *testing.T) {
 	}
 
 	c := newTestClient(addr)
-	c.BatchSize = 8 // many round-trips: widen the mid-stream window
+	c.Options.BatchSize = 8 // many round-trips: widen the mid-stream window
 	done := make(chan error, 1)
 	go func() {
 		_, err := c.Backup("dead-job", srcDir)

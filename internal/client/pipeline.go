@@ -148,7 +148,7 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 				fail(err)
 				return
 			}
-			ch, err := chunker.New(f, c.Chunking)
+			ch, err := chunker.New(f, c.Options.Chunking)
 			if err != nil {
 				f.Close()
 				fail(err)
@@ -384,20 +384,30 @@ func (c *Client) runPipeline(conn *proto.Conn, sess uint64, root string, paths [
 				if v.Seq != b.seq {
 					return fmt.Errorf("client: verdicts for batch %d, expected %d", v.Seq, b.seq)
 				}
-				if len(v.Need) != len(b.fps) {
-					return fmt.Errorf("client: verdict length %d != batch %d", len(v.Need), len(b.fps))
+				if len(v.Verdicts) != len(b.fps) {
+					return fmt.Errorf("client: verdict length %d != batch %d", len(v.Verdicts), len(b.fps))
 				}
 				var needFPs []fp.FP
 				var needData [][]byte
 				var needBufs []*[]byte
-				for i, need := range v.Need {
-					if need {
+				var skipped, skippedBytes int64
+				for i := range v.Verdicts {
+					if v.NeedsTransfer(i) {
 						needFPs = append(needFPs, b.fps[i])
 						needData = append(needData, *b.bufs[i])
 						needBufs = append(needBufs, b.bufs[i])
 					} else {
+						// Skip verdict: the server holds the chunk; the
+						// fingerprint is already recorded in the file entry,
+						// so the payload buffer just recycles unshipped.
+						skipped++
+						skippedBytes += int64(len(*b.bufs[i]))
 						putChunkBuf(b.bufs[i])
 					}
+				}
+				if skipped > 0 {
+					mSkippedChunks.Add(skipped)
+					mSkippedBytes.Add(skippedBytes)
 				}
 				if len(needFPs) == 0 {
 					release()
@@ -524,16 +534,16 @@ loop:
 
 // window returns the number of FPBatches kept in flight.
 func (c *Client) window() int {
-	if c.Window <= 0 {
+	if c.Options.Window <= 0 {
 		return defaultWindow
 	}
-	return c.Window
+	return c.Options.Window
 }
 
 // workers returns the size of the fingerprinting worker pool.
 func (c *Client) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
+	if c.Options.Workers > 0 {
+		return c.Options.Workers
 	}
 	n := defaultWorkers()
 	if n < 1 {

@@ -69,18 +69,18 @@ func entryEqual(a, b proto.FileEntry) bool {
 // restoreBatch returns the chunks-per-batch the client requests from the
 // restore stream.
 func (c *Client) restoreBatch() int {
-	if c.RestoreBatchSize <= 0 {
+	if c.Options.RestoreBatchSize <= 0 {
 		return 256
 	}
-	return c.RestoreBatchSize
+	return c.Options.RestoreBatchSize
 }
 
 // restoreWindow returns the requested number of restore batches in flight.
 func (c *Client) restoreWindow() int {
-	if c.RestoreWindow <= 0 {
+	if c.Options.RestoreWindow <= 0 {
 		return defaultWindow
 	}
-	return c.RestoreWindow
+	return c.Options.RestoreWindow
 }
 
 // safeJoin joins an entry path under destDir, rejecting any path that

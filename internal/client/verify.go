@@ -32,8 +32,11 @@ func (v VerifyResult) OK() bool { return len(v.Modified) == 0 && len(v.Missing) 
 // pass moves no data and holds no server state, so a re-run is cheap and
 // safe).
 func (c *Client) Verify(jobName, dir string) (VerifyResult, error) {
-	pol := c.retryPolicy()
 	var res VerifyResult
+	if err := c.Options.Validate(); err != nil {
+		return res, err
+	}
+	pol := c.retryPolicy()
 	var err error
 	for attempt := 0; ; attempt++ {
 		res, err = c.verifyOnce(jobName, dir)
@@ -118,7 +121,7 @@ func (c *Client) fileMatches(path string, entry proto.FileEntry) (bool, error) {
 		return false, err
 	}
 	defer f.Close()
-	ch, err := chunker.New(f, c.Chunking)
+	ch, err := chunker.New(f, c.Options.Chunking)
 	if err != nil {
 		return false, err
 	}

@@ -94,6 +94,19 @@ func (pf *Filter) Prime(f fp.FP) bool {
 	return pf.insert(f, false)
 }
 
+// Contains reports whether f is resident, without inserting it on a miss.
+// A hit takes the same LRU touch as Test's hit path, so probing with
+// Contains and then (on a miss) calling Test is byte-for-byte equivalent
+// to calling Test alone. The inline dedup fast path uses this to consult
+// the filter before deciding whether to also probe the disk index.
+func (pf *Filter) Contains(f fp.FP) bool {
+	if n := pf.find(f); n != nil {
+		n.touched = true
+		return true
+	}
+	return false
+}
+
 // Test processes one incoming fingerprint of the backup stream. transfer
 // reports whether its chunk must be transferred and logged (true = the
 // fingerprint was not in the filter, so the chunk is possibly new).

@@ -14,7 +14,8 @@ func FuzzRecv(f *testing.F) {
 	// One well-formed frame per message kind, as produced by Send.
 	seeds := []any{
 		FPBatch{SessionID: 1, Seq: 2, FPs: nil, Sizes: nil},
-		FPVerdicts{Seq: 3, Need: []bool{true, false, true}},
+		FPVerdicts{Seq: 3, Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate, VerdictSend}},
+		FPVerdicts{Seq: 3, Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate, VerdictSend}, Legacy: true},
 		ChunkBatch{SessionID: 4, Data: [][]byte{[]byte("abc")}},
 		Ack{OK: true, Err: "x"},
 		RestoreBegin{Entry: FileEntry{Path: "a/b", Size: 3, Sizes: []uint32{3}}, BatchChunks: 8, Window: 2},
@@ -30,8 +31,9 @@ func FuzzRecv(f *testing.F) {
 		}
 		f.Add(wire.Bytes())
 	}
-	// Raw tag bytes with garbage payloads.
-	for tag := byte(0); tag <= tagRestoreAck+1; tag++ {
+	// Raw tag bytes with garbage payloads (one past the last known tag to
+	// cover the unknown-tag error path).
+	for tag := byte(0); tag <= tagFPVerdicts2+1; tag++ {
 		f.Add([]byte{tag, 0, 0, 0, 4, 1, 2, 3, 4})
 	}
 

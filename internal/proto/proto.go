@@ -11,7 +11,7 @@
 //
 // The one-byte tag selects the payload codec. The hot data-path messages
 // (FPBatch, FPVerdicts, ChunkBatch, Ack, RestoreBegin, RestoreChunkBatch,
-// RestoreAck) use compact hand-rolled binary layouts (tags 1–7) with
+// RestoreAck) use compact hand-rolled binary layouts (tags 1–8) with
 // pooled encode/decode buffers; chunk payloads are sliced out of the
 // receive buffer without copying. Every other (control-plane) message is
 // carried as a self-contained gob stream under tag 0, so adding new
@@ -19,6 +19,67 @@
 // simply fall back to gob. Old and new peers interoperate as long as both
 // frame their messages — a tag-0 frame is decodable by any peer with the
 // types registered below.
+//
+// # Backup path
+//
+// The dedup-1 exchange for one backup session is fingerprint-first: no
+// chunk byte moves before the server has asked for it.
+//
+//	client                                  server
+//	  │ ── BackupStart{job, client, ver, caps} ──▶ │
+//	  │ ◀── BackupStartOK{session, ver, caps} ──── │  (caps = intersection)
+//	  │ ── FPBatch{seq=0, fps, sizes} ───────────▶ │
+//	  │ ── FPBatch{seq=1, ...}        ───────────▶ │  (window of batches in flight)
+//	  │ ◀── FPVerdicts{seq=0, verdicts} ────────── │
+//	  │ ── ChunkBatch{fps, data} ────────────────▶ │  (only VerdictSend chunks)
+//	  │ ◀── Ack ────────────────────────────────── │  (durable servers: after fsync)
+//	  │ ── FileMeta{entry} ──────────────────────▶ │  (per completed file)
+//	  │ ◀── Ack ────────────────────────────────── │
+//	  │ ── BackupEnd ────────────────────────────▶ │
+//	  │ ◀── BackupDone{totals} ─────────────────── │
+//
+// Each FPBatch is answered by one FPVerdicts carrying a per-chunk
+// verdict: VerdictSend (transfer the chunk payload) or
+// VerdictSkipDuplicate (the server already holds the chunk — in its
+// chunk log, its preliminary filter, or, when CapInlineDedup was
+// negotiated, its disk index/LPC — so the client records the fingerprint
+// in the file entry and ships nothing). Verdict replies are matched to
+// their batches by the echoed Seq and may overtake other reply types
+// (see the client pipeline); everything else answers in request order.
+//
+// # Protocol versioning and capabilities
+//
+// BackupStart carries the client's ProtocolVersion and a Caps bitset;
+// BackupStartOK echoes the server's version and the negotiated
+// intersection of the two cap sets. The rules:
+//
+//   - Control messages are gob-encoded: decoders ignore fields they do
+//     not know and zero-fill fields the peer did not send, so adding
+//     fields to control messages is always compatible. A peer that
+//     predates the Version/Caps fields therefore reads (and sends) them
+//     as zero — which is exactly "no capabilities".
+//   - A capability-gated behaviour may be used only after BOTH ends
+//     advertised it (the negotiated intersection from BackupStartOK).
+//     Absent a capability, each side must behave exactly as the build
+//     that predates it.
+//   - CapInlineDedup gates the binary FPVerdicts2 frame (tag 8) and the
+//     server's inline duplicate detection against its disk index. Without
+//     it the server answers with the legacy tag-2 bitmap frame, which any
+//     historical peer decodes.
+//
+// # Frame evolution policy
+//
+// Binary frames (tags >= 1) are NOT field-extensible: decoders reject
+// trailing bytes, and an unknown tag is a connection-fatal decode error
+// on old peers. Evolving the binary plane therefore always takes the
+// pair (new tag, new capability bit): the new-form frame may be emitted
+// only toward a peer that advertised the capability, and the old form
+// must remain emittable forever for capability-less peers. The same
+// applies to enum ranges inside a frame: a decoder rejects verdict
+// values it does not know, so new Verdict values require a fresh
+// capability bit (and new tag if the packing changes). Control-plane
+// (tag-0 gob) messages evolve by field addition as above, never by
+// changing the meaning of an existing field's zero value.
 //
 // # Restore streaming
 //
@@ -97,7 +158,9 @@ import (
 )
 
 // Frame tags. Tag 0 is the gob fallback for control-plane messages; tags
-// 1–7 are the binary codecs for the hot data-path messages.
+// 1–8 are the binary codecs for the hot data-path messages. Tag 8 is the
+// verdict-enum form of FPVerdicts, emitted only under CapInlineDedup (see
+// the frame evolution policy in the package comment).
 const (
 	tagGob byte = iota
 	tagFPBatch
@@ -107,7 +170,31 @@ const (
 	tagRestoreBegin
 	tagRestoreChunkBatch
 	tagRestoreAck
+	tagFPVerdicts2
 )
+
+// ProtocolVersion is the protocol revision this build speaks. Version 1
+// predates the Version/Caps fields (gob decodes it as 0 or 1); version 2
+// introduced capability negotiation. Versions are informational — feature
+// gating is by capability bit, never by version comparison.
+const ProtocolVersion = 2
+
+// Caps is a capability bitset exchanged in BackupStart/BackupStartOK.
+// Each bit names a protocol behaviour beyond the version-1 baseline; a
+// behaviour may be used only when both ends advertised its bit (the
+// client proposes its set, the server answers with the intersection).
+type Caps uint64
+
+const (
+	// CapInlineDedup: the peer understands the verdict-enum FPVerdicts
+	// frame (tag 8) and, on the server side, answers FPBatch with inline
+	// duplicate detection against its disk index/LPC — so confirmed
+	// duplicates are never transferred.
+	CapInlineDedup Caps = 1 << iota
+)
+
+// Has reports whether every capability in want is present in c.
+func (c Caps) Has(want Caps) bool { return c&want == want }
 
 // MaxFrame bounds a frame payload (1 GB): a defence against corrupt or
 // hostile length prefixes, far above any legitimate batch. No message
@@ -255,7 +342,11 @@ func (c *Conn) Send(msg any) error {
 	case FPBatch:
 		tag, buf = tagFPBatch, m.encode(buf)
 	case FPVerdicts:
-		tag, buf = tagFPVerdicts, m.encode(buf)
+		if m.Legacy {
+			tag, buf = tagFPVerdicts, m.encodeLegacy(buf)
+		} else {
+			tag, buf = tagFPVerdicts2, m.encode(buf)
+		}
 	case ChunkBatch:
 		tag, buf = tagChunkBatch, m.encode(buf)
 	case Ack:
@@ -348,6 +439,10 @@ func (c *Conn) Recv() (any, error) {
 			return m, err
 		case tagFPVerdicts:
 			var m FPVerdicts
+			err := m.decodeLegacy(payload)
+			return m, err
+		case tagFPVerdicts2:
+			var m FPVerdicts
 			err := m.decode(payload)
 			return m, err
 		case tagAck:
@@ -420,12 +515,16 @@ func (m *FPBatch) decode(p []byte) error {
 	return nil
 }
 
-func (m FPVerdicts) encode(buf []byte) []byte {
+// encodeLegacy emits the version-1 tag-2 bitmap: bit set means "send".
+// The legacy form has no room for verdict values beyond send/skip, which
+// is fine — it is only emitted when CapInlineDedup was not negotiated,
+// and without that capability the only verdicts are the baseline two.
+func (m FPVerdicts) encodeLegacy(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Need)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Verdicts)))
 	var acc byte
-	for i, need := range m.Need {
-		if need {
+	for i, v := range m.Verdicts {
+		if v == VerdictSend {
 			acc |= 1 << (i & 7)
 		}
 		if i&7 == 7 {
@@ -433,7 +532,48 @@ func (m FPVerdicts) encode(buf []byte) []byte {
 			acc = 0
 		}
 	}
-	if len(m.Need)&7 != 0 {
+	if len(m.Verdicts)&7 != 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+func (m *FPVerdicts) decodeLegacy(p []byte) error {
+	if len(p) < 12 {
+		return errShort("FPVerdicts")
+	}
+	m.Seq = binary.BigEndian.Uint64(p)
+	n := int(binary.BigEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) != (n+7)/8 {
+		return errShort("FPVerdicts")
+	}
+	m.Verdicts = make([]Verdict, n)
+	for i := range m.Verdicts {
+		if p[i>>3]&(1<<(i&7)) != 0 {
+			m.Verdicts[i] = VerdictSend
+		} else {
+			m.Verdicts[i] = VerdictSkipDuplicate
+		}
+	}
+	m.Legacy = true
+	return nil
+}
+
+// encode emits the tag-8 verdict-enum form: verdicts packed two bits
+// each, four per byte, little-endian within the byte.
+func (m FPVerdicts) encode(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Verdicts)))
+	var acc byte
+	for i, v := range m.Verdicts {
+		acc |= byte(v) << (2 * (i & 3))
+		if i&3 == 3 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if len(m.Verdicts)&3 != 0 {
 		buf = append(buf, acc)
 	}
 	return buf
@@ -446,13 +586,21 @@ func (m *FPVerdicts) decode(p []byte) error {
 	m.Seq = binary.BigEndian.Uint64(p)
 	n := int(binary.BigEndian.Uint32(p[8:]))
 	p = p[12:]
-	if len(p) != (n+7)/8 {
+	if len(p) != (n+3)/4 {
 		return errShort("FPVerdicts")
 	}
-	m.Need = make([]bool, n)
-	for i := range m.Need {
-		m.Need[i] = p[i>>3]&(1<<(i&7)) != 0
+	m.Verdicts = make([]Verdict, n)
+	for i := range m.Verdicts {
+		v := Verdict(p[i>>2] >> (2 * (i & 3)) & 3)
+		if v >= verdictMax {
+			// Per the frame evolution policy, a verdict value this build
+			// does not know can only mean a peer used a capability we
+			// never advertised — a protocol violation, not a soft skip.
+			return fmt.Errorf("proto: recv: unknown verdict %d in FPVerdicts", v)
+		}
+		m.Verdicts[i] = v
 	}
+	m.Legacy = false
 	return nil
 }
 
@@ -656,15 +804,23 @@ type FileEntry struct {
 
 // ---- client ↔ backup server ----
 
-// BackupStart opens a backup session for one job run.
+// BackupStart opens a backup session for one job run. Version and Caps
+// (absent — hence zero — from version-1 peers) open capability
+// negotiation: Caps is the full set the client is willing to use.
 type BackupStart struct {
 	JobName string
 	Client  string
+	Version int
+	Caps    Caps
 }
 
-// BackupStartOK acknowledges the session.
+// BackupStartOK acknowledges the session. Caps is the negotiated
+// intersection of the client's offer and the server's own set; both ends
+// must restrict themselves to it for the whole session.
 type BackupStartOK struct {
 	SessionID uint64
+	Version   int
+	Caps      Caps
 }
 
 // FPBatch offers a batch of fingerprints for preliminary filtering. Seq
@@ -678,11 +834,34 @@ type FPBatch struct {
 	Sizes     []uint32
 }
 
-// FPVerdicts answers which offered chunks must be transferred. Seq echoes
-// the FPBatch it answers.
+// Verdict is the server's per-chunk answer to an offered fingerprint.
+type Verdict uint8
+
+const (
+	// VerdictSend: transfer the chunk payload in a ChunkBatch.
+	VerdictSend Verdict = iota
+	// VerdictSkipDuplicate: the server already stores this chunk; record
+	// the fingerprint in the file entry and do not transfer the payload.
+	VerdictSkipDuplicate
+	// verdictMax bounds the known verdict range; decode rejects values at
+	// or above it (new values require a new capability bit — see the
+	// frame evolution policy).
+	verdictMax
+)
+
+// FPVerdicts answers an FPBatch with one verdict per offered chunk. Seq
+// echoes the FPBatch it answers. Legacy selects the version-1 bitmap
+// frame (tag 2) on send and records which form was received on decode;
+// senders must set it when the session lacks CapInlineDedup.
 type FPVerdicts struct {
-	Seq  uint64
-	Need []bool
+	Seq      uint64
+	Verdicts []Verdict
+	Legacy   bool
+}
+
+// NeedsTransfer reports whether chunk i must be shipped in a ChunkBatch.
+func (m FPVerdicts) NeedsTransfer(i int) bool {
+	return m.Verdicts[i] == VerdictSend
 }
 
 // ChunkBatch carries chunk payloads that passed the filter.
@@ -758,11 +937,14 @@ type BackupEnd struct {
 	SessionID uint64
 }
 
-// BackupDone reports session statistics.
+// BackupDone reports session statistics. InlineSkippedBytes counts
+// logical bytes the inline dedup fast path elided from the wire
+// (CapInlineDedup sessions; zero otherwise).
 type BackupDone struct {
-	LogicalBytes     int64
-	TransferredBytes int64
-	NewFingerprints  int64
+	LogicalBytes       int64
+	TransferredBytes   int64
+	NewFingerprints    int64
+	InlineSkippedBytes int64
 }
 
 // RestoreFile asks for a file's content from a previous job run, opening

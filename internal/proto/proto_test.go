@@ -40,15 +40,18 @@ func TestRoundTripAllMessages(t *testing.T) {
 	}
 	msgs := []any{
 		BackupStart{JobName: "j", Client: "c"},
+		BackupStart{JobName: "j", Client: "c", Version: ProtocolVersion, Caps: CapInlineDedup},
 		BackupStartOK{SessionID: 7},
+		BackupStartOK{SessionID: 7, Version: ProtocolVersion, Caps: CapInlineDedup},
 		FPBatch{SessionID: 7, FPs: []fp.FP{fp.FromUint64(9)}, Sizes: []uint32{100}},
-		FPVerdicts{Need: []bool{true, false}},
+		FPVerdicts{Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate}},
+		FPVerdicts{Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate}, Legacy: true},
 		ChunkBatch{SessionID: 7, FPs: []fp.FP{fp.FromUint64(9)}, Data: [][]byte{[]byte("xyz")}},
 		Ack{OK: true},
 		Ack{OK: false, Err: "boom"},
 		FileMeta{SessionID: 7, Entry: entry},
 		BackupEnd{SessionID: 7},
-		BackupDone{LogicalBytes: 1, TransferredBytes: 2, NewFingerprints: 3},
+		BackupDone{LogicalBytes: 1, TransferredBytes: 2, NewFingerprints: 3, InlineSkippedBytes: 4},
 		RestoreFile{JobName: "j", Path: "p", BatchChunks: 128, Window: 2},
 		RestoreMeta{JobName: "j", Path: "p"},
 		RestoreBegin{Entry: entry, BatchChunks: 256, Window: 4},
@@ -130,16 +133,22 @@ func TestBinaryCodecRoundTrip(t *testing.T) {
 		sizes = append(sizes, uint32(i*7))
 		data = append(data, bytes.Repeat([]byte{byte(i)}, i%97))
 	}
-	need := make([]bool, 300)
-	for i := range need {
-		need[i] = i%3 == 0
+	verdicts := make([]Verdict, 300)
+	for i := range verdicts {
+		if i%3 == 0 {
+			verdicts[i] = VerdictSend
+		} else {
+			verdicts[i] = VerdictSkipDuplicate
+		}
 	}
 
 	msgs := []any{
 		FPBatch{SessionID: 5, Seq: 42, FPs: fps, Sizes: sizes},
-		FPBatch{SessionID: 5, Seq: 43}, // empty batch
-		FPVerdicts{Seq: 42, Need: need},
-		FPVerdicts{Seq: 43, Need: []bool{}},
+		FPBatch{SessionID: 5, Seq: 43},                        // empty batch
+		FPVerdicts{Seq: 42, Verdicts: verdicts},               // >256: multi-byte 2-bit packing
+		FPVerdicts{Seq: 42, Verdicts: verdicts, Legacy: true}, // legacy bitmap form
+		FPVerdicts{Seq: 43, Verdicts: []Verdict{}},
+		FPVerdicts{Seq: 43, Verdicts: []Verdict{}, Legacy: true},
 		ChunkBatch{SessionID: 5, FPs: fps, Data: data},
 		ChunkBatch{SessionID: 5},
 		Ack{OK: true},
@@ -194,8 +203,8 @@ func normalize(m any) any {
 		}
 		return v
 	case FPVerdicts:
-		if len(v.Need) == 0 {
-			v.Need = nil
+		if len(v.Verdicts) == 0 {
+			v.Verdicts = nil
 		}
 		return v
 	case ChunkBatch:
@@ -238,7 +247,8 @@ func normEntry(e FileEntry) FileEntry {
 func TestTruncatedFrames(t *testing.T) {
 	msgs := []any{
 		FPBatch{SessionID: 1, Seq: 2, FPs: []fp.FP{fp.FromUint64(1)}, Sizes: []uint32{10}},
-		FPVerdicts{Seq: 2, Need: []bool{true, false, true}},
+		FPVerdicts{Seq: 2, Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate, VerdictSend}},
+		FPVerdicts{Seq: 2, Verdicts: []Verdict{VerdictSend, VerdictSkipDuplicate, VerdictSend}, Legacy: true},
 		ChunkBatch{SessionID: 1, FPs: []fp.FP{fp.FromUint64(1)}, Data: [][]byte{[]byte("abc")}},
 		Ack{OK: true, Err: "x"},
 		RestoreBegin{Entry: FileEntry{Path: "p", Chunks: []fp.FP{fp.FromUint64(2)}, Sizes: []uint32{3}}, BatchChunks: 1, Window: 1},

@@ -131,8 +131,8 @@ func TestConcurrentRestores(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			c := testClient(srvAddr)
-			c.RestoreBatchSize = 32 // many small batches: maximise interleaving
-			c.RestoreWindow = 2
+			c.Options.RestoreBatchSize = 32 // many small batches: maximise interleaving
+			c.Options.RestoreWindow = 2
 			var n int
 			n, errs[i] = c.Restore(jobs[i].name, dsts[i])
 			if errs[i] == nil && n != 5 {
@@ -286,7 +286,7 @@ func TestChunkBatchAtomicOnMismatch(t *testing.T) {
 	if msg, err = conn.Recv(); err != nil {
 		t.Fatal(err)
 	}
-	if v := msg.(proto.FPVerdicts); len(v.Need) != 3 || !v.Need[0] || !v.Need[1] || !v.Need[2] {
+	if v := msg.(proto.FPVerdicts); len(v.Verdicts) != 3 || !v.NeedsTransfer(0) || !v.NeedsTransfer(1) || !v.NeedsTransfer(2) {
 		t.Fatalf("verdicts = %+v", msg)
 	}
 

@@ -83,8 +83,8 @@ func TestCrossSessionLogDedup(t *testing.T) {
 	}
 	if msg, err := connA.Recv(); err != nil {
 		t.Fatal(err)
-	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Need) != 1 || !v.Need[0] {
-		t.Fatalf("session A FPBatch reply = %T %+v, want need=[true]", msg, msg)
+	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Verdicts) != 1 || !v.NeedsTransfer(0) {
+		t.Fatalf("session A FPBatch reply = %T %+v, want verdicts=[send]", msg, msg)
 	}
 	if err := connA.Send(proto.ChunkBatch{
 		SessionID: sessA, FPs: []fp.FP{f}, Data: [][]byte{append([]byte{}, chunk...)},
@@ -107,8 +107,8 @@ func TestCrossSessionLogDedup(t *testing.T) {
 	}
 	if msg, err := connB.Recv(); err != nil {
 		t.Fatal(err)
-	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Need) != 1 || v.Need[0] {
-		t.Fatalf("session B FPBatch reply = %T %+v, want need=[false] (chunk already logged by A)", msg, msg)
+	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Verdicts) != 1 || v.NeedsTransfer(0) {
+		t.Fatalf("session B FPBatch reply = %T %+v, want verdicts=[skip] (chunk already logged by A)", msg, msg)
 	}
 
 	// B records a file referencing the chunk it never transferred, then

@@ -73,8 +73,8 @@ func TestChunkBatchAckHeldForWALSync(t *testing.T) {
 	}
 	if msg, err = conn.Recv(); err != nil {
 		t.Fatal(err)
-	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Need) != 1 || !v.Need[0] {
-		t.Fatalf("FPBatch reply = %T %+v, want need=[true]", msg, msg)
+	} else if v, is := msg.(proto.FPVerdicts); !is || len(v.Verdicts) != 1 || !v.NeedsTransfer(0) {
+		t.Fatalf("FPBatch reply = %T %+v, want verdicts=[send]", msg, msg)
 	}
 
 	if err := conn.Send(proto.ChunkBatch{
@@ -165,8 +165,8 @@ func TestIdleSessionReaped(t *testing.T) {
 		t.Fatal(err)
 	}
 	verdicts, is := msg.(proto.FPVerdicts)
-	if !is || len(verdicts.Need) != 1 || !verdicts.Need[0] {
-		t.Fatalf("FPBatch reply = %T %+v, want need=[true]", msg, msg)
+	if !is || len(verdicts.Verdicts) != 1 || !verdicts.NeedsTransfer(0) {
+		t.Fatalf("FPBatch reply = %T %+v, want verdicts=[send]", msg, msg)
 	}
 	if err := conn.Send(proto.ChunkBatch{
 		SessionID: sess, FPs: []fp.FP{f}, Data: [][]byte{chunk},

@@ -1,0 +1,360 @@
+package server_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"debar/internal/director"
+	"debar/internal/fp"
+	"debar/internal/obs"
+	"debar/internal/proto"
+	"debar/internal/server"
+)
+
+// startSystemInline boots a director and one backup server with the
+// inline-dedup fast path switched by disable.
+func startSystemInline(t *testing.T, disable bool) (*director.Director, string) {
+	t.Helper()
+	d := director.New()
+	dirAddr, err := d.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+
+	srv, err := server.New(server.Config{
+		DirectorAddr:       dirAddr,
+		ContainerSize:      64 << 10,
+		IndexBits:          12,
+		DisableInlineDedup: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvAddr, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return d, srvAddr
+}
+
+// runDedup2Direct asks the server itself for a dedup-2 pass and returns
+// the outcome frame (the director's trigger path discards the counters
+// these tests assert on).
+func runDedup2Direct(t *testing.T, srvAddr string) proto.Dedup2Done {
+	t.Helper()
+	conn, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.Dedup2Request{RunSIU: true}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, is := msg.(proto.Dedup2Done)
+	if !is {
+		t.Fatalf("Dedup2Request reply = %T %+v", msg, msg)
+	}
+	if done.Err != "" {
+		t.Fatalf("dedup-2 failed: %s", done.Err)
+	}
+	return done
+}
+
+// restoreAndCompare restores job into a fresh directory and byte-compares
+// it against the expected tree.
+func restoreAndCompare(t *testing.T, srvAddr, job string, files map[string][]byte) {
+	t.Helper()
+	dst := t.TempDir()
+	c := testClient(srvAddr)
+	n, err := c.Restore(job, dst)
+	if err != nil {
+		t.Fatalf("restore %s: %v", job, err)
+	}
+	if n != len(files) {
+		t.Fatalf("restore %s returned %d files, want %d", job, n, len(files))
+	}
+	for rel, want := range files {
+		got, err := os.ReadFile(filepath.Join(dst, rel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("restore %s: %s not byte-identical", job, rel)
+		}
+	}
+}
+
+// TestInlineDedupDedup2Equivalence proves the fast path changes only
+// where duplicates are detected, never what the store converges on.
+// Generation one lands a dataset and dedup-2 moves it into containers;
+// generation two re-offers the same data under a fresh job name, so the
+// job-chain filter is empty and only the inline index probe (or, with it
+// off, the out-of-line SIL pass) can catch the duplicates. In BOTH modes
+// the second dedup-2 pass must store zero new chunks and seal zero
+// containers, and both generations must restore byte-identically —
+// inline skip verdicts and dedup-2's decisions are the same decisions,
+// made earlier.
+func TestInlineDedupDedup2Equivalence(t *testing.T) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"inline-on", false},
+		{"inline-off", true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			_, srvAddr := startSystemInline(t, mode.disable)
+			src := t.TempDir()
+			files := writeTree(t, src, 9)
+			c := testClient(srvAddr)
+
+			gen1, err := c.Backup("eq-gen1", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done1 := runDedup2Direct(t, srvAddr)
+			if done1.NewChunks == 0 {
+				t.Fatal("first-generation dedup-2 stored nothing: index never populated")
+			}
+
+			gen2, err := c.Backup("eq-gen2", src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done2 := runDedup2Direct(t, srvAddr)
+			// The equivalence claim: whether duplicates were skipped inline
+			// (nothing re-logged, empty pending set) or shipped and caught
+			// out-of-line by SIL, the pass stores no chunk twice and seals
+			// no container. DupChunks legitimately differs between modes —
+			// inline hits never reach dedup-2 to be counted.
+			if done2.NewChunks != 0 || done2.Containers != 0 {
+				t.Fatalf("second-generation dedup-2 stored new=%d containers=%d, want 0/0",
+					done2.NewChunks, done2.Containers)
+			}
+
+			if mode.disable {
+				if gen2.InlineSkippedBytes != 0 {
+					t.Fatalf("inline disabled but %d bytes reported skipped", gen2.InlineSkippedBytes)
+				}
+			} else {
+				if gen2.InlineSkippedBytes == 0 {
+					t.Fatal("inline enabled but no bytes reported skipped on a duplicate generation")
+				}
+				if gen2.TransferredBytes >= gen1.TransferredBytes/10 {
+					t.Fatalf("inline second generation transferred %d (first %d): fast path not cutting the wire",
+						gen2.TransferredBytes, gen1.TransferredBytes)
+				}
+			}
+
+			restoreAndCompare(t, srvAddr, "eq-gen1", files)
+			restoreAndCompare(t, srvAddr, "eq-gen2", files)
+		})
+	}
+}
+
+// TestMixedVersionInterop downgrades each side of the capability
+// negotiation in turn: a capability-less client against a new server, and
+// a new client against a server with the fast path disabled. Both
+// sessions must negotiate down to the pre-capability protocol with no
+// errors, no inline skips, and byte-identical restores.
+func TestMixedVersionInterop(t *testing.T) {
+	t.Run("old-client-new-server", func(t *testing.T) {
+		d, srvAddr := startSystemInline(t, false)
+		src := t.TempDir()
+		files := writeTree(t, src, 21)
+		c := testClient(srvAddr)
+		c.Options.DisableInlineDedup = true // offers no capabilities, like an old build
+
+		first, err := c.Backup("interop-a", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.TriggerDedup2(true); err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Backup("interop-a", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.InlineSkippedBytes != 0 {
+			t.Fatalf("capability-less session reported %d inline-skipped bytes", second.InlineSkippedBytes)
+		}
+		// The downgrade keeps current behaviour: the job-chain filter still
+		// cuts the duplicate generation.
+		if second.TransferredBytes > first.TransferredBytes/10 {
+			t.Fatalf("downgraded second run transferred %d (first %d): job chain not filtering",
+				second.TransferredBytes, first.TransferredBytes)
+		}
+		restoreAndCompare(t, srvAddr, "interop-a", files)
+	})
+
+	t.Run("new-client-old-server", func(t *testing.T) {
+		d, srvAddr := startSystemInline(t, true)
+		src := t.TempDir()
+		files := writeTree(t, src, 22)
+		c := testClient(srvAddr) // offers CapInlineDedup; the server refuses it
+
+		first, err := c.Backup("interop-b", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.TriggerDedup2(true); err != nil {
+			t.Fatal(err)
+		}
+		second, err := c.Backup("interop-b", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.InlineSkippedBytes != 0 {
+			t.Fatalf("refused capability still produced %d inline-skipped bytes", second.InlineSkippedBytes)
+		}
+		if second.TransferredBytes > first.TransferredBytes/10 {
+			t.Fatalf("second run transferred %d (first %d): job chain not filtering",
+				second.TransferredBytes, first.TransferredBytes)
+		}
+		restoreAndCompare(t, srvAddr, "interop-b", files)
+	})
+}
+
+// TestLegacyPeerWireCompat speaks the pre-capability wire protocol
+// directly: a BackupStart with zero Version and Caps is byte-for-byte
+// what an old binary sends (gob omits zero-valued fields). The server
+// must grant no capabilities it was never offered and must answer the
+// fingerprint exchange with the legacy bitmap verdict frame an old peer
+// can parse.
+func TestLegacyPeerWireCompat(t *testing.T) {
+	_, srvAddr := startSystemInline(t, false)
+
+	conn, err := proto.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(proto.BackupStart{JobName: "legacy-wire", Client: "old"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, is := msg.(proto.BackupStartOK)
+	if !is {
+		t.Fatalf("BackupStart reply = %T %+v", msg, msg)
+	}
+	if ok.Caps != 0 {
+		t.Fatalf("server granted caps %b to a client that offered none", ok.Caps)
+	}
+
+	chunk := bytes.Repeat([]byte("legacy peer payload "), 64)
+	f := fp.New(chunk)
+	if err := conn.Send(proto.FPBatch{
+		SessionID: ok.SessionID, Seq: 0, FPs: []fp.FP{f}, Sizes: []uint32{uint32(len(chunk))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	v, is := msg.(proto.FPVerdicts)
+	if !is {
+		t.Fatalf("FPBatch reply = %T %+v", msg, msg)
+	}
+	if !v.Legacy {
+		t.Fatal("capability-less session got the packed verdict frame an old peer cannot parse")
+	}
+	if len(v.Verdicts) != 1 || !v.NeedsTransfer(0) {
+		t.Fatalf("verdicts = %+v, want [send]", v.Verdicts)
+	}
+
+	if err := conn.Send(proto.ChunkBatch{
+		SessionID: ok.SessionID, FPs: []fp.FP{f}, Data: [][]byte{chunk},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	} else if ack, is := msg.(proto.Ack); !is || !ack.OK {
+		t.Fatalf("ChunkBatch reply = %T %+v", msg, msg)
+	}
+	if err := conn.Send(proto.BackupEnd{SessionID: ok.SessionID}); err != nil {
+		t.Fatal(err)
+	}
+	if msg, err = conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	done, is := msg.(proto.BackupDone)
+	if !is {
+		t.Fatalf("BackupEnd reply = %T %+v", msg, msg)
+	}
+	if done.InlineSkippedBytes != 0 {
+		t.Fatalf("legacy session reported %d inline-skipped bytes", done.InlineSkippedBytes)
+	}
+}
+
+// TestInlineDedupCutsWireBytes is the wire-savings acceptance test: a
+// duplicate-heavy second generation under a FRESH job name (so the
+// job-chain filter cannot help — only the inline index probe can answer
+// before the bytes move) must cut chunk-data wire bytes by at least 80%
+// versus the first generation, with the savings visible in both the
+// server- and client-side counters.
+func TestInlineDedupCutsWireBytes(t *testing.T) {
+	d, srvAddr := startSystem(t)
+	src := t.TempDir()
+	files := writeTree(t, src, 11)
+	c := testClient(srvAddr)
+
+	base := obs.Default.Snapshot().Flatten()
+	if _, err := c.Backup("wire-gen1", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+	gen1 := snapshotDelta(base)
+	if gen1("server_chunk_bytes_in_total") <= 0 {
+		t.Fatal("first generation ingested no chunk bytes")
+	}
+	if gen1("server_backup_logical_bytes_total") <= 0 {
+		t.Fatal("first generation recorded no logical bytes")
+	}
+
+	mid := obs.Default.Snapshot().Flatten()
+	if _, err := c.Backup("wire-gen2", src); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := snapshotDelta(mid)
+
+	if gen2("server_inline_dup_hits_total") < 1 {
+		t.Fatal("duplicate generation produced no inline index hits")
+	}
+	if gen2("server_inline_skipped_bytes_total") <= 0 {
+		t.Fatal("inline hits recorded but no skipped bytes")
+	}
+	if gen2("client_backup_skipped_chunks_total") < 1 || gen2("client_backup_skipped_bytes_total") <= 0 {
+		t.Fatalf("client recorded no skips: chunks=%v bytes=%v",
+			gen2("client_backup_skipped_chunks_total"), gen2("client_backup_skipped_bytes_total"))
+	}
+	// The acceptance bar: ≥80% of the chunk-data wire bytes gone.
+	if gen2("server_chunk_bytes_in_total") > gen1("server_chunk_bytes_in_total")/5 {
+		t.Fatalf("second generation moved %v chunk bytes (first %v): inline fast path saved <80%%",
+			gen2("server_chunk_bytes_in_total"), gen1("server_chunk_bytes_in_total"))
+	}
+	// Same data, same logical volume: only the wire bytes shrank.
+	if gen2("server_backup_logical_bytes_total") < gen1("server_backup_logical_bytes_total") {
+		t.Fatalf("second generation logical %v < first %v for identical data",
+			gen2("server_backup_logical_bytes_total"), gen1("server_backup_logical_bytes_total"))
+	}
+
+	if err := d.TriggerDedup2(true); err != nil {
+		t.Fatal(err)
+	}
+	restoreAndCompare(t, srvAddr, "wire-gen2", files)
+}

@@ -65,7 +65,7 @@ func writeTree(t *testing.T, dir string, seed int64) map[string][]byte {
 
 func testClient(srvAddr string) *client.Client {
 	c := client.New(srvAddr, "it-client")
-	c.Chunking = chunker.Config{AvgBits: 10, Min: 512, Max: 8192, Window: 32}
+	c.Options.Chunking = chunker.Config{AvgBits: 10, Min: 512, Max: 8192, Window: 32}
 	return c
 }
 

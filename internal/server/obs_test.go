@@ -48,7 +48,7 @@ func TestObservabilityCountersMove(t *testing.T) {
 	src := t.TempDir()
 	writeTree(t, src, 7)
 	c := testClient(srvAddr)
-	c.Window = 4 // several batches in flight → coalescing opportunities
+	c.Options.Window = 4 // several batches in flight → coalescing opportunities
 
 	base := obs.Default.Snapshot().Flatten()
 	if _, err := c.Backup("job-obs", src); err != nil {

@@ -186,8 +186,8 @@ func TestRestoreInterruptedMidStream(t *testing.T) {
 	px.SetPlan(faultproxy.Plan{CutS2C: 256 << 10})
 
 	rc := testClient(px.Addr())
-	rc.RestoreBatchSize = 32 // many batches: the cut lands mid-stream
-	rc.Retries = -1          // single attempt: the failure itself is under test
+	rc.Options.RestoreBatchSize = 32 // many batches: the cut lands mid-stream
+	rc.Options.Retries = -1          // single attempt: the failure itself is under test
 	dst := t.TempDir()
 	// A pre-existing file at the destination must survive a failed
 	// restore untouched: the stream lands in a temp file until verified.

@@ -49,6 +49,9 @@ var (
 	mRestoreStreams = obs.GetCounter("server_restore_streams_total")
 	mBytesOut       = obs.GetCounter("server_restore_bytes_out_total")
 	mRestoreStalls  = obs.GetCounter("server_restore_window_stalls_total")
+	mInlineDupHits  = obs.GetCounter("server_inline_dup_hits_total")
+	mInlineSkipped  = obs.GetCounter("server_inline_skipped_bytes_total")
+	mLogicalBytes   = obs.GetCounter("server_backup_logical_bytes_total")
 )
 
 // Config sizes a backup server.
@@ -120,6 +123,14 @@ type Config struct {
 	// GetJobFiles — are idempotent or tolerate duplicates). 0 selects 2;
 	// negative disables retries.
 	ControlRetries int
+
+	// DisableInlineDedup withholds proto.CapInlineDedup from capability
+	// negotiation: every session gets send-everything verdicts exactly as
+	// a pre-capability build would answer, and duplicates are caught by
+	// dedup-2 alone. For interop testing and for measuring the inline fast
+	// path's contribution; the stored state converges identically either
+	// way.
+	DisableInlineDedup bool
 
 	// Dedup2StageHook, when non-nil, is invoked at dedup-2 stage
 	// boundaries ("sil-stored" after the sharded SIL container commits,
@@ -228,6 +239,7 @@ type session struct {
 	id      uint64
 	jobName string
 	runID   uint64
+	caps    proto.Caps // negotiated capabilities; immutable after startBackup
 
 	mu       sync.Mutex
 	filter   *prefilter.Filter // guarded by mu
@@ -236,6 +248,7 @@ type session struct {
 	logical  int64             // guarded by mu
 	xfer     int64             // guarded by mu
 	newFPs   int64             // guarded by mu
+	skipped  int64             // guarded by mu; logical bytes elided by inline dedup verdicts
 }
 
 // Server is one backup server.
@@ -905,6 +918,16 @@ func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
 		filter.Prime(f)
 	}
 
+	// Capability negotiation: the session gets the intersection of the
+	// client's offer and what this server is willing to use. A client that
+	// predates the Caps field offered zero, so the intersection is empty
+	// and the session runs exactly the pre-capability protocol.
+	serverCaps := proto.CapInlineDedup
+	if s.cfg.DisableInlineDedup {
+		serverCaps = 0
+	}
+	caps := m.Caps & serverCaps
+
 	s.mu.Lock()
 	s.nextSess++
 	s.sessEpoch++
@@ -912,6 +935,7 @@ func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
 		id:      s.nextSess,
 		jobName: m.JobName,
 		runID:   runID,
+		caps:    caps,
 		filter:  filter,
 	}
 	s.sessions[sess.id] = sess
@@ -928,7 +952,7 @@ func (s *Server) startBackup(m proto.BackupStart, st *connState) (any, error) {
 	} else {
 		s.slog.Debug("session opened", "session", sess.id, "job", m.JobName, "client", m.Client)
 	}
-	return proto.BackupStartOK{SessionID: sess.id}, nil
+	return proto.BackupStartOK{SessionID: sess.id, Version: proto.ProtocolVersion, Caps: caps}, nil
 }
 
 func (s *Server) getSession(id uint64) (*session, error) {
@@ -967,11 +991,15 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 	if len(m.FPs) != len(m.Sizes) {
 		return nil, errors.New("server: FPBatch lengths differ")
 	}
-	need := make([]bool, len(m.FPs))
+	inline := sess.caps.Has(proto.CapInlineDedup)
+	verdicts := make([]proto.Verdict, len(m.FPs))
 	var hits, misses, logDups int64 // batch-local; one atomic add each below
+	var inlineHits, inlineBytes, logical int64
 	sess.mu.Lock()
 	for i, f := range m.FPs {
-		sess.logical += int64(m.Sizes[i])
+		sz := int64(m.Sizes[i])
+		sess.logical += sz
+		logical += sz
 		sess.xfer += fp.Size + 1
 		// Cross-session dedup at the log layer: a chunk some concurrent
 		// session already landed in the chunk log needs no second copy,
@@ -982,17 +1010,49 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 		if s.chunkLogged(f) {
 			logDups++
 			hits++
-			continue // need[i] stays false
+			verdicts[i] = proto.VerdictSkipDuplicate
+			continue
+		}
+		if inline {
+			// Inline dedup fast path (CapInlineDedup sessions): before the
+			// filter's test-and-set, probe the filter non-mutatingly and
+			// then the disk index/LPC. An index hit means the chunk sits in
+			// a committed container (containers commit before SIU publishes
+			// their index entries, and crash recovery rebuilds the index
+			// from container metadata), so a skip verdict never references
+			// bytes a crash could lose. The fingerprint is primed — not
+			// new-marked — into the filter: it must never reach dedup-2's
+			// pending set (its chunk was never re-logged) but must keep
+			// filtering this stream's repeats. Index misses fall through to
+			// the plain filter test, and any false negative is caught by
+			// dedup-2 — the decisions the store converges on are identical
+			// with the fast path on or off.
+			if sess.filter.Contains(f) {
+				hits++
+				verdicts[i] = proto.VerdictSkipDuplicate
+				continue
+			}
+			if s.restorer.Known(f) {
+				sess.filter.Prime(f)
+				inlineHits++
+				inlineBytes += sz
+				sess.skipped += sz
+				verdicts[i] = proto.VerdictSkipDuplicate
+				continue
+			}
+			// Contains missed and the index missed: Test below takes its
+			// miss-insert path, exactly as if Contains was never called.
 		}
 		tr, admitted := sess.filter.Test(f)
-		need[i] = tr
 		if tr {
+			verdicts[i] = proto.VerdictSend
 			misses++
 			sess.newFPs++
 			if !admitted {
 				sess.overflow = append(sess.overflow, f)
 			}
 		} else {
+			verdicts[i] = proto.VerdictSkipDuplicate
 			hits++
 		}
 	}
@@ -1001,7 +1061,14 @@ func (s *Server) fpBatch(m proto.FPBatch) (any, error) {
 	mPrefilterHits.Add(hits)
 	mPrefilterMiss.Add(misses)
 	mLoggedDupHits.Add(logDups)
-	return proto.FPVerdicts{Seq: m.Seq, Need: need}, nil
+	mLogicalBytes.Add(logical)
+	if inlineHits > 0 {
+		mInlineDupHits.Add(inlineHits)
+		mInlineSkipped.Add(inlineBytes)
+	}
+	// Legacy (tag-2 bitmap) framing for capability-less sessions keeps the
+	// wire byte-identical to a pre-capability server.
+	return proto.FPVerdicts{Seq: m.Seq, Verdicts: verdicts, Legacy: !inline}, nil
 }
 
 func (s *Server) chunkBatch(m proto.ChunkBatch) (any, error) {
@@ -1147,9 +1214,10 @@ func (s *Server) endBackup(m proto.BackupEnd) (any, error) {
 	und := collectUndetermined(sess)
 	sess.mu.Lock()
 	done := proto.BackupDone{
-		LogicalBytes:     sess.logical,
-		TransferredBytes: sess.xfer,
-		NewFingerprints:  sess.newFPs,
+		LogicalBytes:       sess.logical,
+		TransferredBytes:   sess.xfer,
+		NewFingerprints:    sess.newFPs,
+		InlineSkippedBytes: sess.skipped,
 	}
 	sess.mu.Unlock()
 

@@ -120,6 +120,23 @@ func (r *Restorer) Chunk(f fp.FP) ([]byte, error) {
 	}
 }
 
+// Known reports whether fingerprint f resolves to a stored chunk — in the
+// LPC cache or, failing that, the disk index. It is a pure membership
+// probe for the backup path's inline dedup: no container is loaded and no
+// load is waited for. Errors (including a fingerprint the index does not
+// hold) report false: the inline path treats any uncertainty as
+// "transfer", and dedup-2 recovers the missed duplicate later.
+func (r *Restorer) Known(f fp.FP) bool {
+	r.mu.Lock()
+	if _, ok := r.Cache.Lookup(f); ok {
+		r.mu.Unlock()
+		return true
+	}
+	r.mu.Unlock()
+	_, err := r.Index.Lookup(f) // random small disk I/O, outside the LPC lock
+	return err == nil
+}
+
 // IndexLookups returns the number of random on-disk index lookups the
 // restore path could not avoid. The paper measures LPC eliminating 99.3%
 // of them (§6.2).

@@ -52,6 +52,13 @@
 // averages) for a CI job log:
 //
 //	go run ./tools/benchjson -coalesce metrics.json
+//
+// With -inline it reads one metrics snapshot and prints the inline-dedup
+// fast-path summary: duplicate hits answered before the bytes moved, the
+// volume skipped, and chunk-data wire bytes as a share of the logical
+// bytes offered:
+//
+//	go run ./tools/benchjson -inline metrics.json
 package main
 
 import (
@@ -103,11 +110,12 @@ func main() {
 	summary := flag.Bool("summary", false, "render one benchjson document as a durable-vs-mem Markdown summary")
 	metricsPath := flag.String("metrics", "", "obs metrics snapshot (JSON) to flatten into the document's metrics map")
 	coalesce := flag.Bool("coalesce", false, "print the WAL group-commit health summary of one metrics snapshot")
+	inline := flag.Bool("inline", false, "print the inline-dedup fast-path summary of one metrics snapshot")
 	flag.Parse()
 
-	if *coalesce {
+	if *coalesce || *inline {
 		if flag.NArg() != 1 {
-			fmt.Fprintln(os.Stderr, "usage: benchjson -coalesce metrics.json")
+			fmt.Fprintln(os.Stderr, "usage: benchjson -coalesce|-inline metrics.json")
 			os.Exit(2)
 		}
 		metrics, err := loadMetrics(flag.Arg(0))
@@ -115,7 +123,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
 		}
-		coalesceSummary(metrics, os.Stdout)
+		if *coalesce {
+			coalesceSummary(metrics, os.Stdout)
+		}
+		if *inline {
+			inlineSummary(metrics, os.Stdout)
+		}
 		return
 	}
 
@@ -384,6 +397,25 @@ func coalesceSummary(m map[string]float64, w io.Writer) {
 		fmt.Fprintf(w, "group commit: avg %.1f writers/window, %.0f bytes/window, %.1fµs inter-arrival, %.2fx hold occupancy\n",
 			writers, bytes, gap*1e6, occupancy)
 	}
+}
+
+// inlineSummary prints the inline-dedup fast-path health lines for a CI
+// job log: how many duplicates were answered from the filter and disk
+// index before their bytes moved, the volume that never crossed the
+// wire, and chunk-data wire bytes as a share of the logical bytes the
+// clients offered. Snapshots from runs without backup traffic (or from
+// binaries predating the series) say so instead of printing zeros.
+func inlineSummary(m map[string]float64, w io.Writer) {
+	logical := m["server_backup_logical_bytes_total"]
+	if logical <= 0 {
+		fmt.Fprintln(w, "inline dedup: no backup traffic in this snapshot")
+		return
+	}
+	fmt.Fprintf(w, "inline dedup: %.0f duplicate hits answered before transfer, %.0f bytes skipped\n",
+		m["server_inline_dup_hits_total"], m["server_inline_skipped_bytes_total"])
+	wire := m["server_chunk_bytes_in_total"]
+	fmt.Fprintf(w, "wire vs logical: %.0f chunk bytes in of %.0f logical = %.1f%% of offered data crossed the wire\n",
+		wire, logical, 100*wire/logical)
 }
 
 // parseLine parses one `BenchmarkX-8  N  v1 unit1  v2 unit2 ...` line.
